@@ -1,0 +1,58 @@
+// Ablation: placement-aware scheduling vs the paper's count-based simulator.
+// In placement-aware mode every job is bound to concrete GPUs and its
+// measured throughput follows the actual ring bottleneck, so fragmentation
+// physically slows communication-heavy jobs. Compact-first allocation keeps
+// the penalty small; the delta to the count-based model bounds what the
+// simplification ignores.
+#include "bench_common.h"
+#include "sched/cluster.h"
+#include "sched/trace.h"
+
+int main() {
+  using namespace elan;
+  bench::SchedTestbed tb;
+  bench::print_header("Ablation — placement-aware vs count-based scheduling (3 runs)");
+
+  struct Acc {
+    Stats jct, makespan, util;
+  };
+  std::map<std::pair<sched::PolicyKind, bool>, Acc> acc;
+  const std::vector<sched::PolicyKind> policies = {sched::PolicyKind::kBackfill,
+                                                   sched::PolicyKind::kElasticBackfill};
+  for (std::uint64_t seed : {2020, 2021, 2022}) {
+    sched::TraceParams tp;
+    tp.seed = seed;
+    const auto trace = sched::TraceGenerator(tb.throughput, tp).generate();
+    for (auto policy : policies) {
+      for (bool placement : {false, true}) {
+        sched::ClusterParams cp;
+        cp.placement_aware = placement;
+        sched::ClusterSim sim(tb.throughput, tb.costs, policy, baselines::System::kElan,
+                              cp);
+        const auto m = sim.run(trace);
+        auto& a = acc[{policy, placement}];
+        a.jct.add(m.completion_time.mean());
+        a.makespan.add(m.makespan);
+        a.util.add(m.average_utilization());
+      }
+    }
+  }
+
+  Table t({"Policy", "Mode", "mean JCT (s)", "makespan (h)", "avg util %"});
+  for (auto policy : policies) {
+    for (bool placement : {false, true}) {
+      const auto& a = acc[{policy, placement}];
+      char jct[32], mk[32], u[32];
+      std::snprintf(jct, sizeof(jct), "%.0f", a.jct.mean());
+      std::snprintf(mk, sizeof(mk), "%.1f", a.makespan.mean() / 3600.0);
+      std::snprintf(u, sizeof(u), "%.1f", 100.0 * a.util.mean());
+      t.add(sched::to_string(policy),
+            placement ? std::string("placement-aware") : std::string("count-based"),
+            std::string(jct), std::string(mk), std::string(u));
+    }
+  }
+  bench::print_table(t);
+  std::printf("The gap between modes is the fragmentation cost the count-based paper\n"
+              "methodology abstracts away (kept small by compact-first allocation).\n");
+  return 0;
+}

@@ -1,0 +1,32 @@
+// Ablation: PS vs collective communication (the paper's §I/§VII argument for
+// building Elan on allreduce). Per-iteration gradient synchronisation time as
+// the worker count grows: ring allreduce stays roughly flat (per-link volume
+// is ~2S regardless of N) while the PS servers' NICs carry 2S*N/servers and
+// become the bottleneck.
+#include "bench_common.h"
+#include "comm/ps_model.h"
+
+int main() {
+  using namespace elan;
+  bench::Testbed tb;
+  bench::print_header("Ablation — PS vs ring allreduce gradient synchronisation (ms)",
+                      "4 parameter servers; allreduce as used by Elan's data plane.");
+
+  for (const auto& m : {train::resnet50(), train::vgg19()}) {
+    std::printf("%s (%s gradients):\n", m.name.c_str(),
+                format_bytes(m.param_bytes()).c_str());
+    const comm::PsModel ps(tb.bandwidth);
+    Table t({"Workers", "allreduce", "PS (4 servers)", "PS/allreduce"});
+    for (int n : {4, 8, 16, 32, 64}) {
+      const double ar = tb.throughput.allreduce_time(m, n);
+      const double pst = ps.sync_time(m.param_bytes(), n);
+      char a[32], p[32], r[32];
+      std::snprintf(a, sizeof(a), "%.0f", 1000.0 * ar);
+      std::snprintf(p, sizeof(p), "%.0f", 1000.0 * pst);
+      std::snprintf(r, sizeof(r), "%.1fx", pst / ar);
+      t.add(n, std::string(a), std::string(p), std::string(r));
+    }
+    bench::print_table(t);
+  }
+  return 0;
+}

@@ -1,0 +1,59 @@
+// Shared fixture for the paper-reproduction benchmark harnesses.
+//
+// Each bench binary regenerates one table or figure of the paper and prints
+// it as an ASCII table (series by rows). Absolute numbers come from the
+// calibrated simulator; the *shapes* match the paper (see EXPERIMENTS.md).
+#pragma once
+
+#include <cstdio>
+#include <iostream>
+#include <string>
+
+#include "baselines/adjustment_cost.h"
+#include "common/log.h"
+#include "common/table.h"
+#include "storage/filesystem.h"
+#include "topology/bandwidth.h"
+#include "topology/topology.h"
+#include "train/models.h"
+#include "train/throughput.h"
+
+namespace elan::bench {
+
+/// The paper's testbed: 8 servers x 8 GPUs.
+struct Testbed {
+  topo::Topology topology{topo::TopologySpec{}};
+  topo::BandwidthModel bandwidth;
+  storage::SimFilesystem fs;
+  train::ThroughputModel throughput{topology, bandwidth};
+  baselines::AdjustmentCostModel costs{topology, bandwidth, fs};
+};
+
+/// The scheduling cluster: 128 GPUs (16 nodes).
+struct SchedTestbed {
+  topo::Topology topology{topo::TopologySpec{.nodes = 16}};
+  topo::BandwidthModel bandwidth;
+  storage::SimFilesystem fs;
+  train::ThroughputModel throughput{topology, bandwidth};
+  baselines::AdjustmentCostModel costs{topology, bandwidth, fs};
+};
+
+inline void print_header(const std::string& title, const std::string& note = "") {
+  std::printf("\n=== %s ===\n", title.c_str());
+  if (!note.empty()) std::printf("%s\n", note.c_str());
+  std::printf("\n");
+}
+
+inline void print_table(const Table& table) { table.print(std::cout); }
+
+/// Worker-letter labels used by Fig 15 ("Models are denoted by A - E").
+inline const char* model_letter(const std::string& name) {
+  if (name == "ResNet-50") return "A";
+  if (name == "VGG-19") return "B";
+  if (name == "MobileNet-v2") return "C";
+  if (name == "Seq2Seq") return "D";
+  if (name == "Transformer") return "E";
+  return "?";
+}
+
+}  // namespace elan::bench

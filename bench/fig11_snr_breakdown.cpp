@@ -1,0 +1,43 @@
+// Figures 10 & 11: the Shutdown-&-Restart timeline and its per-phase time
+// breakdown, measured from a real scale-out executed by the S&R mechanism in
+// the job runtime. Expected shape: start + initialization dominate.
+#include "bench_common.h"
+#include "elan/job.h"
+
+int main() {
+  using namespace elan;
+  bench::Testbed tb;
+  bench::print_header("Figure 11 — S&R time breakdown (scale-out 8 -> 16, per model)",
+                      "Start and initialization dominate the critical path, which is\n"
+                      "what the asynchronous coordination mechanism hides.");
+
+  Table t({"Model", "checkpoint", "shutdown", "start", "init", "load", "group", "total",
+           "start+init %"});
+  for (const auto& m : train::model_zoo()) {
+    sim::Simulator sim;
+    storage::SimFilesystem fs;
+    transport::MessageBus bus(sim, tb.bandwidth);
+    transport::KvStore kv(sim);
+    JobConfig cfg;
+    cfg.model = m;
+    cfg.initial_workers = 8;
+    cfg.initial_total_batch = 8 * 32;
+    cfg.mechanism = Mechanism::kShutdownRestart;
+    ElasticJob job(sim, tb.topology, tb.bandwidth, fs, bus, kv, cfg);
+    job.stop_after_iterations(2000);
+    job.start();
+    sim.schedule(1.0, [&] {
+      job.request_scale_out({8, 9, 10, 11, 12, 13, 14, 15});
+    });
+    sim.run();
+    const auto& adj = job.adjustments().at(0);
+    const auto& b = adj.breakdown;
+    char pct[32];
+    std::snprintf(pct, sizeof(pct), "%.0f%%", 100.0 * (b.start + b.init) / b.total());
+    t.add(m.name, format_seconds(b.checkpoint), format_seconds(b.shutdown),
+          format_seconds(b.start), format_seconds(b.init), format_seconds(b.load),
+          format_seconds(b.reconstruct), format_seconds(b.total()), std::string(pct));
+  }
+  bench::print_table(t);
+  return 0;
+}

@@ -1,0 +1,39 @@
+// Figure 14: runtime overhead of Elan when training WITHOUT any resource
+// adjustment — the cost of coordinating with the AM every iteration,
+// measured from real job runs. Expected: below 3 per-mille (paper's bound).
+#include "bench_common.h"
+#include "elan/job.h"
+
+int main() {
+  using namespace elan;
+  bench::Testbed tb;
+  bench::print_header("Figure 14 — runtime overhead (per-mille) by model and #workers",
+                      "Coordination every iteration; overhead = (wall - ideal)/ideal.");
+
+  Table t({"Model", "n=2", "n=4", "n=8", "n=16", "n=32", "n=64"});
+  for (const auto& m : train::model_zoo()) {
+    std::vector<std::string> row{m.name};
+    for (int n : {2, 4, 8, 16, 32, 64}) {
+      sim::Simulator sim;
+      storage::SimFilesystem fs;
+      transport::MessageBus bus(sim, tb.bandwidth);
+      transport::KvStore kv(sim);
+      JobConfig cfg;
+      cfg.model = m;
+      cfg.initial_workers = n;
+      cfg.initial_total_batch = n * 32;
+      cfg.coordination_interval = 1;
+      ElasticJob job(sim, tb.topology, tb.bandwidth, fs, bus, kv, cfg);
+      job.stop_after_iterations(100);
+      job.start();
+      const double wall = sim.run();
+      const double ideal = job.ideal_training_time();
+      char buf[32];
+      std::snprintf(buf, sizeof(buf), "%.2f", 1000.0 * (wall - ideal) / ideal);
+      row.push_back(buf);
+    }
+    t.add_row(row);
+  }
+  bench::print_table(t);
+  return 0;
+}

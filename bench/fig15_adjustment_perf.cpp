@@ -1,0 +1,120 @@
+// Figure 15: the performance (training-pause time) of migration, scale-in
+// and scale-out under Elan and S&R, across adjustment scales and the five
+// models (A: ResNet-50, B: VGG-19, C: MobileNet-v2, D: Seq2Seq,
+// E: Transformer). Expected: Elan ~1 s everywhere; S&R ~4x slower on
+// migration and 10-80x slower on scaling.
+//
+// Every number is measured from a real adjustment executed by the job
+// runtime in the discrete-event simulator (5 repetitions, mean reported,
+// like the paper).
+#include "bench_common.h"
+#include "common/stats.h"
+#include "elan/job.h"
+
+namespace {
+
+using namespace elan;
+
+struct Scenario {
+  AdjustmentType type;
+  int from;
+  int to;
+};
+
+double measure(const bench::Testbed& tb, const train::ModelSpec& m, Mechanism mech,
+               const Scenario& s, std::uint64_t seed) {
+  sim::Simulator sim;
+  storage::SimFilesystem fs;
+  transport::MessageBus bus(sim, tb.bandwidth);
+  transport::KvStore kv(sim);
+  JobConfig cfg;
+  cfg.model = m;
+  cfg.initial_workers = s.from;
+  cfg.initial_total_batch = s.from * 32;
+  cfg.mechanism = mech;
+  cfg.seed = seed;
+  ElasticJob job(sim, tb.topology, tb.bandwidth, fs, bus, kv, cfg);
+  job.stop_after_iterations(100000);
+  job.on_iteration = [&](std::uint64_t) {
+    if (!job.adjustments().empty()) job.stop();
+  };
+  job.start();
+  sim.schedule(1.0, [&] {
+    switch (s.type) {
+      case AdjustmentType::kScaleOut: {
+        std::vector<topo::GpuId> gpus;
+        for (int g = s.from; g < s.to; ++g) gpus.push_back(g);
+        job.request_scale_out(gpus);
+        break;
+      }
+      case AdjustmentType::kScaleIn: {
+        std::vector<int> victims;
+        for (int w = s.to; w < s.from; ++w) victims.push_back(w);
+        job.request_scale_in(victims);
+        break;
+      }
+      case AdjustmentType::kMigrate: {
+        // `to` encodes the first target GPU; victims are the first half of
+        // the workers. Intra-node targets let replication use L2/L3 links;
+        // cross-node targets force the network path.
+        std::vector<int> victims;
+        std::vector<topo::GpuId> targets;
+        for (int w = 0; w < s.from / 2; ++w) {
+          victims.push_back(w);
+          // Spread targets across nodes (4 GPUs per node) so replication can
+          // use several NICs concurrently.
+          targets.push_back(s.to + (w % 4) + 8 * (w / 4));
+        }
+        job.request_migration(victims, targets);
+        break;
+      }
+    }
+  });
+  sim.run();
+  return job.adjustments().at(0).pause_time();
+}
+
+}  // namespace
+
+int main() {
+  using namespace elan;
+  bench::Testbed tb;
+  bench::print_header(
+      "Figure 15 — adjustment performance (training pause, seconds)",
+      "M->N = scaling/migrating from M to N workers; models A-E as in the paper.\n"
+      "Mean of 5 runs. speedup = S&R / Elan.");
+
+  const std::vector<std::pair<std::string, Scenario>> scenarios = {
+      {"migrate 2 of 4 intra-node", {AdjustmentType::kMigrate, 4, 4}},
+      {"migrate 4 of 8 cross-node", {AdjustmentType::kMigrate, 8, 8}},
+      {"migrate 8 of 16 cross-node", {AdjustmentType::kMigrate, 16, 16}},
+      {"scale-in 16->8", {AdjustmentType::kScaleIn, 16, 8}},
+      {"scale-in 32->16", {AdjustmentType::kScaleIn, 32, 16}},
+      {"scale-out 8->16", {AdjustmentType::kScaleOut, 8, 16}},
+      {"scale-out 16->32", {AdjustmentType::kScaleOut, 16, 32}},
+      {"scale-out 32->64", {AdjustmentType::kScaleOut, 32, 64}},
+  };
+
+  for (const auto& [label, scenario] : scenarios) {
+    std::printf("%s:\n", label.c_str());
+    Table t({"Model", "Elan (s)", "Elan sd", "S&R (s)", "S&R sd", "speedup"});
+    for (const auto& m : train::model_zoo()) {
+      Stats elan_s;
+      Stats snr_s;
+      for (std::uint64_t rep = 0; rep < 5; ++rep) {
+        elan_s.add(measure(tb, m, Mechanism::kElan, scenario, 100 + rep));
+        snr_s.add(measure(tb, m, Mechanism::kShutdownRestart, scenario, 200 + rep));
+      }
+      char e[32], es[32], s[32], ss[32], sp[32];
+      std::snprintf(e, sizeof(e), "%.2f", elan_s.mean());
+      std::snprintf(es, sizeof(es), "%.2f", elan_s.stddev());
+      std::snprintf(s, sizeof(s), "%.2f", snr_s.mean());
+      std::snprintf(ss, sizeof(ss), "%.2f", snr_s.stddev());
+      std::snprintf(sp, sizeof(sp), "%.1fx", snr_s.mean() / elan_s.mean());
+      t.add(std::string(bench::model_letter(m.name)) + ": " + m.name, std::string(e),
+            std::string(es), std::string(s), std::string(ss), std::string(sp));
+    }
+    bench::print_table(t);
+  }
+  return 0;
+}

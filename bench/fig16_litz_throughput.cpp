@@ -1,0 +1,32 @@
+// Figure 16: relative training throughput of Litz-2 and Litz-4 versus Elan
+// (Elan = 1.0). Expected: Litz far below 1 everywhere, worst on Transformer
+// (>90% reduction); slight improvement with more workers thanks to local
+// gradient aggregation amortising the allreduce.
+#include "baselines/litz.h"
+#include "bench_common.h"
+
+int main() {
+  using namespace elan;
+  bench::Testbed tb;
+  bench::print_header("Figure 16 — Litz relative throughput vs Elan (Elan = 1.00)");
+
+  const baselines::LitzModel litz2(tb.throughput, {2});
+  const baselines::LitzModel litz4(tb.throughput, {4});
+
+  for (const auto& m : train::model_zoo()) {
+    std::printf("%s:\n", m.name.c_str());
+    Table t({"Workers", "Litz-2", "Litz-4", "reduction (Litz-4)"});
+    for (int n : {8, 16, 32, 64}) {
+      const int tbs = n * 32;
+      const double r2 = litz2.relative_throughput(m, n, tbs);
+      const double r4 = litz4.relative_throughput(m, n, tbs);
+      char b2[32], b4[32], red[32];
+      std::snprintf(b2, sizeof(b2), "%.3f", r2);
+      std::snprintf(b4, sizeof(b4), "%.3f", r4);
+      std::snprintf(red, sizeof(red), "%.0f%%", 100.0 * (1.0 - r4));
+      t.add(n, std::string(b2), std::string(b4), std::string(red));
+    }
+    bench::print_table(t);
+  }
+  return 0;
+}

@@ -1,0 +1,31 @@
+// Figure 17: ResNet-50 strong-scaling curves for the total batch sizes used
+// by the elastic-training experiment (512 / 1024 / 2048). These curves guide
+// the worker counts of §VI-B: the optima land at 16 / 32 / 64.
+#include "bench_common.h"
+
+int main() {
+  using namespace elan;
+  bench::Testbed tb;
+  bench::print_header("Figure 17 — ResNet-50 strong scaling (samples/s)");
+
+  const auto m = train::resnet50();
+  Table t({"Workers", "TBS 512", "TBS 1024", "TBS 2048"});
+  for (int n : {4, 8, 16, 32, 64}) {
+    std::vector<std::string> row{std::to_string(n)};
+    for (int tbs : {512, 1024, 2048}) {
+      if (!tb.throughput.fits(m, n, tbs)) {
+        row.push_back("-");
+        continue;
+      }
+      char buf[32];
+      std::snprintf(buf, sizeof(buf), "%.0f", tb.throughput.throughput(m, n, tbs));
+      row.push_back(buf);
+    }
+    t.add_row(row);
+  }
+  bench::print_table(t);
+  std::printf("optimal workers: TBS 512 -> %d, TBS 1024 -> %d, TBS 2048 -> %d\n",
+              tb.throughput.optimal_workers(m, 512), tb.throughput.optimal_workers(m, 1024),
+              tb.throughput.optimal_workers(m, 2048));
+  return 0;
+}

@@ -1,0 +1,31 @@
+// Figure 18: top-1 accuracy vs epoch for static training (512 on 16 workers)
+// and elastic training (512-2048). Expected: the curves overlap — the hybrid
+// scaling mechanism preserves model performance (paper: 75.89% vs 75.87%).
+#include "bench_common.h"
+#include "experiments/adabatch.h"
+
+int main() {
+  using namespace elan;
+  bench::Testbed tb;
+  bench::print_header("Figure 18 — top-1 accuracy vs epoch, static vs elastic");
+
+  const experiments::AdaBatchExperiment experiment(tb.throughput, tb.costs);
+  const auto runs = experiment.run_all();
+
+  Table t({"Epoch", runs[0].name, runs[1].name, runs[2].name});
+  for (int e = 9; e < 90; e += 10) {
+    std::vector<std::string> row{std::to_string(e + 1)};
+    for (const auto& run : runs) {
+      char buf[32];
+      std::snprintf(buf, sizeof(buf), "%.2f", 100.0 * run.points[e].accuracy);
+      row.push_back(buf);
+    }
+    t.add_row(row);
+  }
+  bench::print_table(t);
+  for (const auto& run : runs) {
+    std::printf("%-20s final top-1 = %.2f%%\n", run.name.c_str(),
+                100.0 * run.final_accuracy());
+  }
+  return 0;
+}

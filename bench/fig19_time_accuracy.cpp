@@ -1,0 +1,28 @@
+// Figure 19: training efficiency — top-1 accuracy vs wall-clock time for the
+// three §VI-B configurations. Expected: the elastic run reaches every
+// accuracy level first; the fixed-64 run wastes resources in the small-batch
+// phase.
+#include "bench_common.h"
+#include "experiments/adabatch.h"
+
+int main() {
+  using namespace elan;
+  bench::Testbed tb;
+  bench::print_header("Figure 19 — top-1 accuracy vs training time");
+
+  const experiments::AdaBatchExperiment experiment(tb.throughput, tb.costs);
+  for (const auto& run : experiment.run_all()) {
+    std::printf("%s:\n", run.name.c_str());
+    Table t({"time (h)", "epoch", "workers", "TBS", "top-1 (%)"});
+    for (std::size_t i = 9; i < run.points.size(); i += 10) {
+      const auto& p = run.points[i];
+      char h[32], acc[32];
+      std::snprintf(h, sizeof(h), "%.2f", p.end_time / 3600.0);
+      std::snprintf(acc, sizeof(acc), "%.2f", 100.0 * p.accuracy);
+      t.add(std::string(h), p.epoch + 1, p.workers, p.total_batch, std::string(acc));
+    }
+    bench::print_table(t);
+    std::printf("total time: %s\n\n", format_seconds(run.total_time()).c_str());
+  }
+  return 0;
+}

@@ -1,0 +1,63 @@
+// Figure 20: job pending time (JPT), job completion time (JCT) and makespan
+// under FIFO / Backfill and their elastic variants, over 3 trace seeds (the
+// paper runs its simulation 3 times). Expected: the elastic variants cut JPT
+// by 43%+, JCT by 25%+ and makespan by ~21%.
+#include "bench_common.h"
+#include "sched/cluster.h"
+#include "sched/trace.h"
+
+int main() {
+  using namespace elan;
+  bench::SchedTestbed tb;
+  bench::print_header("Figure 20 — scheduling with and without elasticity (3 runs)",
+                      "128-GPU cluster, two-day synthetic production trace.");
+
+  struct Acc {
+    Stats jpt, jct, makespan;
+  };
+  std::map<sched::PolicyKind, Acc> acc;
+  const std::vector<sched::PolicyKind> policies = {
+      sched::PolicyKind::kFifo, sched::PolicyKind::kElasticFifo,
+      sched::PolicyKind::kBackfill, sched::PolicyKind::kElasticBackfill};
+
+  for (std::uint64_t seed : {2020, 2021, 2022}) {
+    sched::TraceParams tp;
+    tp.seed = seed;
+    const auto trace = sched::TraceGenerator(tb.throughput, tp).generate();
+    for (auto policy : policies) {
+      sched::ClusterSim sim(tb.throughput, tb.costs, policy, baselines::System::kElan);
+      const auto m = sim.run(trace);
+      acc[policy].jpt.add(m.pending_time.mean());
+      acc[policy].jct.add(m.completion_time.mean());
+      acc[policy].makespan.add(m.makespan);
+    }
+  }
+
+  Table t({"Policy", "JPT (s)", "JCT (s)", "makespan (h)", "JPT vs static",
+           "JCT vs static", "makespan vs static"});
+  for (auto policy : policies) {
+    const auto& a = acc[policy];
+    const auto base_policy = policy == sched::PolicyKind::kElasticFifo
+                                 ? sched::PolicyKind::kFifo
+                                 : (policy == sched::PolicyKind::kElasticBackfill
+                                        ? sched::PolicyKind::kBackfill
+                                        : policy);
+    const auto& base = acc[base_policy];
+    auto pct = [](double v, double b) {
+      char buf[32];
+      std::snprintf(buf, sizeof(buf), "%+.0f%%", 100.0 * (v - b) / b);
+      return std::string(buf);
+    };
+    char jpt[32], jct[32], mk[32];
+    std::snprintf(jpt, sizeof(jpt), "%.0f", a.jpt.mean());
+    std::snprintf(jct, sizeof(jct), "%.0f", a.jct.mean());
+    std::snprintf(mk, sizeof(mk), "%.1f", a.makespan.mean() / 3600.0);
+    const bool elastic = sched::is_elastic(policy);
+    t.add(sched::to_string(policy), std::string(jpt), std::string(jct), std::string(mk),
+          elastic ? pct(a.jpt.mean(), base.jpt.mean()) : std::string("-"),
+          elastic ? pct(a.jct.mean(), base.jct.mean()) : std::string("-"),
+          elastic ? pct(a.makespan.mean(), base.makespan.mean()) : std::string("-"));
+  }
+  bench::print_table(t);
+  return 0;
+}

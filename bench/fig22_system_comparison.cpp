@@ -1,0 +1,47 @@
+// Figure 22: the necessity of high-performance elasticity — average JCT and
+// makespan under the elastic policy when adjustments are executed by an
+// Ideal system (zero cost), Elan, or S&R. Expected: Elan ~= Ideal; S&R
+// inflates JCT by several percent.
+#include "bench_common.h"
+#include "sched/cluster.h"
+#include "sched/trace.h"
+
+int main() {
+  using namespace elan;
+  bench::SchedTestbed tb;
+  bench::print_header("Figure 22 — elastic scheduling by elasticity mechanism (3 runs)");
+
+  struct Acc {
+    Stats jct, makespan;
+  };
+  std::map<baselines::System, Acc> acc;
+  const std::vector<baselines::System> systems = {
+      baselines::System::kIdeal, baselines::System::kElan,
+      baselines::System::kShutdownRestart};
+
+  for (std::uint64_t seed : {2020, 2021, 2022}) {
+    sched::TraceParams tp;
+    tp.seed = seed;
+    const auto trace = sched::TraceGenerator(tb.throughput, tp).generate();
+    for (auto system : systems) {
+      sched::ClusterSim sim(tb.throughput, tb.costs, sched::PolicyKind::kElasticBackfill,
+                            system);
+      const auto m = sim.run(trace);
+      acc[system].jct.add(m.completion_time.mean());
+      acc[system].makespan.add(m.makespan);
+    }
+  }
+
+  const double ideal_jct = acc[baselines::System::kIdeal].jct.mean();
+  Table t({"System", "JCT (s)", "JCT vs Ideal", "makespan (h)"});
+  for (auto system : systems) {
+    const auto& a = acc[system];
+    char jct[32], rel[32], mk[32];
+    std::snprintf(jct, sizeof(jct), "%.0f", a.jct.mean());
+    std::snprintf(rel, sizeof(rel), "%+.1f%%", 100.0 * (a.jct.mean() - ideal_jct) / ideal_jct);
+    std::snprintf(mk, sizeof(mk), "%.1f", a.makespan.mean() / 3600.0);
+    t.add(to_string(system), std::string(jct), std::string(rel), std::string(mk));
+  }
+  bench::print_table(t);
+  return 0;
+}

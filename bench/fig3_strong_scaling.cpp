@@ -1,0 +1,32 @@
+// Figure 3: training throughput under STRONG scaling (fixed total batch
+// size) for the five Table I models. Expected shape: throughput rises with
+// workers, peaks, then declines; the optimum shifts right with larger total
+// batches.
+#include "bench_common.h"
+
+int main() {
+  using namespace elan;
+  bench::Testbed tb;
+  bench::print_header("Figure 3 — strong scaling (samples/s vs #workers, fixed TBS)");
+
+  for (const auto& m : train::model_zoo()) {
+    std::printf("%s:\n", m.name.c_str());
+    Table t({"TBS", "n=2", "n=4", "n=8", "n=16", "n=32", "n=64", "optimal n"});
+    for (int tbs : {256, 512, 1024, 2048}) {
+      std::vector<std::string> row{std::to_string(tbs)};
+      for (int n : {2, 4, 8, 16, 32, 64}) {
+        if (!tb.throughput.fits(m, n, tbs)) {
+          row.push_back("-");
+        } else {
+          char buf[32];
+          std::snprintf(buf, sizeof(buf), "%.0f", tb.throughput.throughput(m, n, tbs));
+          row.push_back(buf);
+        }
+      }
+      row.push_back(std::to_string(tb.throughput.optimal_workers(m, tbs)));
+      t.add_row(row);
+    }
+    bench::print_table(t);
+  }
+  return 0;
+}

@@ -1,0 +1,36 @@
+// Figure 4: training throughput under WEAK scaling (fixed per-worker batch).
+// Expected shape: near-linear growth, with the slope increasing in the
+// per-worker batch size.
+#include "bench_common.h"
+
+int main() {
+  using namespace elan;
+  bench::Testbed tb;
+  bench::print_header("Figure 4 — weak scaling (samples/s vs #workers, fixed batch/worker)");
+
+  for (const auto& m : train::model_zoo()) {
+    std::printf("%s:\n", m.name.c_str());
+    Table t({"batch/worker", "n=2", "n=4", "n=8", "n=16", "n=32", "n=64",
+             "efficiency@64"});
+    for (int b : {16, 32, 64}) {
+      if (b > m.max_batch_per_gpu) continue;
+      std::vector<std::string> row{std::to_string(b)};
+      double t2 = 0;
+      double t64 = 0;
+      for (int n : {2, 4, 8, 16, 32, 64}) {
+        const double tput = tb.throughput.throughput(m, n, n * b);
+        if (n == 2) t2 = tput;
+        if (n == 64) t64 = tput;
+        char buf[32];
+        std::snprintf(buf, sizeof(buf), "%.0f", tput);
+        row.push_back(buf);
+      }
+      char eff[32];
+      std::snprintf(eff, sizeof(eff), "%.2f", t64 / (32.0 * t2));
+      row.push_back(eff);
+      t.add_row(row);
+    }
+    bench::print_table(t);
+  }
+  return 0;
+}

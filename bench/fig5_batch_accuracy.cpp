@@ -1,0 +1,27 @@
+// Figure 5: MobileNet-v2 on Cifar100 — final accuracy vs total batch size,
+// with the default recipe (fixed LR) and the hybrid scaling rule
+// (progressively linear-scaled LR). Expected shape: Default declines
+// monotonically; Hybrid holds until ~2^11 and dips at 2^12.
+#include "bench_common.h"
+#include "train/convergence.h"
+
+int main() {
+  using namespace elan;
+  bench::print_header(
+      "Figure 5 — MobileNet-v2/Cifar100 accuracy vs total batch size",
+      "Default: LR fixed at the TBS-128 value. Hybrid: progressive linear scaling.");
+
+  const auto model = train::ConvergenceModel::mobilenet_cifar100();
+  Table t({"TBS", "Default top-1 (%)", "Hybrid top-1 (%)"});
+  for (int tbs = 128; tbs <= 8192; tbs *= 2) {
+    const double def = model.final_accuracy(tbs, 0.05, 100, {60, 80});
+    const double hyb = model.final_accuracy(tbs, 0.05 * tbs / 128.0, 100, {60, 80});
+    char d[32];
+    char h[32];
+    std::snprintf(d, sizeof(d), "%.2f", 100.0 * def);
+    std::snprintf(h, sizeof(h), "%.2f", 100.0 * hyb);
+    t.add(tbs, std::string(d), std::string(h));
+  }
+  bench::print_table(t);
+  return 0;
+}

@@ -1,0 +1,25 @@
+// Figure 8: bandwidth of the three GPU-GPU communication paths (P2P, SHM,
+// NET) as a function of message size. Expected shape: all ramp with size;
+// P2P > SHM > NET at every size.
+#include "bench_common.h"
+
+int main() {
+  using namespace elan;
+  bench::Testbed tb;
+  bench::print_header("Figure 8 — P2P vs SHM vs NET bandwidth (GiB/s) by message size");
+
+  Table t({"Message size", "P2P (L1)", "SHM (L2)", "SHM/QPI (L3)", "NET (L4)"});
+  for (Bytes size = 64_KiB; size <= 1_GiB; size *= 4) {
+    std::vector<std::string> row{format_bytes(size)};
+    for (auto level : {topo::LinkLevel::kL1, topo::LinkLevel::kL2, topo::LinkLevel::kL3,
+                       topo::LinkLevel::kL4}) {
+      char buf[32];
+      std::snprintf(buf, sizeof(buf), "%.2f",
+                    tb.bandwidth.measured_bandwidth(level, size) / gib_per_sec(1.0));
+      row.push_back(buf);
+    }
+    t.add_row(row);
+  }
+  bench::print_table(t);
+  return 0;
+}

@@ -1,0 +1,16 @@
+// Table I: DL models for scaling-out strategy analysis.
+#include "bench_common.h"
+
+int main() {
+  using namespace elan;
+  bench::print_header("Table I — DL models for scaling out strategy analysis");
+  Table t({"Model", "Type", "Domain", "#Parameters", "Dataset", "Max batch/GPU"});
+  for (const auto& m : train::model_zoo()) {
+    char params[32];
+    std::snprintf(params, sizeof(params), "%.0fM", m.parameters / 1e6);
+    t.add(m.name, m.type, m.domain, std::string(params), m.dataset.name,
+          m.max_batch_per_gpu);
+  }
+  bench::print_table(t);
+  return 0;
+}

@@ -1,0 +1,40 @@
+// Table IV: time-to-solution at target accuracies 74.5 / 75.0 / 75.5 % for
+// the three §VI-B configurations, and the elastic-vs-static speedup.
+// Expected shape: elastic is fastest at every target and the speedup grows
+// with the target accuracy; the fixed-64 configuration gains much less
+// (resource elasticity is necessary).
+#include "bench_common.h"
+#include "experiments/adabatch.h"
+
+int main() {
+  using namespace elan;
+  bench::Testbed tb;
+  bench::print_header("Table IV — time to solution and speedup");
+
+  const experiments::AdaBatchExperiment experiment(tb.throughput, tb.costs);
+  const auto s = experiment.run_static();
+  const auto e = experiment.run_elastic();
+  const auto f64 = experiment.run_fixed64();
+
+  Table t({"Target top-1", "512 (16) s", "Elastic s", "512-2048 (64) s",
+           "speedup (Elastic)", "speedup (64)"});
+  for (double target : {0.745, 0.750, 0.755}) {
+    const double ts = s.time_to_accuracy(target);
+    const double te = e.time_to_accuracy(target);
+    const double tf = f64.time_to_accuracy(target);
+    char tgt[16], a[32], b[32], c[32], spe[16], spf[16];
+    std::snprintf(tgt, sizeof(tgt), "%.1f%%", 100 * target);
+    std::snprintf(a, sizeof(a), "%.0f", ts);
+    std::snprintf(b, sizeof(b), "%.0f", te);
+    std::snprintf(c, sizeof(c), "%.0f", tf);
+    std::snprintf(spe, sizeof(spe), "%.2fx", ts / te);
+    std::snprintf(spf, sizeof(spf), "%.2fx", ts / tf);
+    t.add(std::string(tgt), std::string(a), std::string(b), std::string(c),
+          std::string(spe), std::string(spf));
+  }
+  bench::print_table(t);
+  std::printf("final accuracy: static %.2f%%, elastic %.2f%% (hybrid scaling keeps "
+              "model performance)\n",
+              100 * s.final_accuracy(), 100 * e.final_accuracy());
+  return 0;
+}

@@ -1,0 +1,61 @@
+// Analytic adjustment-cost model.
+//
+// Closed-form estimates of how long a resource adjustment pauses training
+// under each mechanism. The elastic-scheduling simulator (paper §VI-C) uses
+// these the same way the paper's own discrete-time simulator used "the
+// runtime overhead and the resource adjustment performance of Elan and S&R"
+// collected from real runs — here they are collected from the same formulas
+// the ElasticJob runtime executes, and a test cross-validates the two.
+#pragma once
+
+#include "comm/group.h"
+#include "elan/messages.h"
+#include "elan/replication.h"
+#include "elan/worker.h"
+#include "storage/filesystem.h"
+#include "train/throughput.h"
+
+namespace elan::baselines {
+
+/// Which elastic system executes the adjustment (Fig 22 comparison set).
+enum class System { kIdeal, kElan, kShutdownRestart };
+
+const char* to_string(System system);
+
+class AdjustmentCostModel {
+ public:
+  AdjustmentCostModel(const topo::Topology& topology, const topo::BandwidthModel& bandwidth,
+                      const storage::SimFilesystem& filesystem,
+                      WorkerParams worker_params = {}, comm::GroupParams group_params = {});
+
+  /// Expected training-pause time for adjusting a `model` job from
+  /// `workers_before` to `workers_after` (equal counts = migration).
+  Seconds pause_time(System system, AdjustmentType type, const train::ModelSpec& model,
+                     int workers_before, int workers_after) const;
+
+  /// Fractional throughput lost to elasticity support while training without
+  /// adjustments (coordination cost; Fig 14).
+  double runtime_overhead(System system, const train::ModelSpec& model, int workers,
+                          int total_batch) const;
+
+  Seconds elan_replication_time(const train::ModelSpec& model, int workers_before,
+                                int new_workers) const;
+  Seconds group_reconstruct_time(int workers) const;
+
+  /// Expected time until an asynchronously launched worker has spawned and
+  /// initialised (and can therefore report to the AM).
+  Seconds new_worker_ready_time() const;
+
+ private:
+  const topo::Topology* topology_;
+  const topo::BandwidthModel* bandwidth_;
+  const storage::SimFilesystem* fs_;
+  WorkerParams worker_params_;
+  comm::GroupParams group_params_;
+
+  Seconds expected_max_start(int workers) const;
+  Seconds snr_pause(AdjustmentType type, const train::ModelSpec& model, int workers_before,
+                    int workers_after) const;
+};
+
+}  // namespace elan::baselines

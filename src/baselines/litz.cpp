@@ -1,0 +1,48 @@
+#include "baselines/litz.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+
+namespace elan::baselines {
+
+Seconds LitzModel::context_switch_time(const train::ModelSpec& model,
+                                       int per_executor_batch) const {
+  // Per-executor context: full training state plus this executor's resident
+  // activations/workspace. One switch = old context out + new context in.
+  const Bytes context =
+      model.gpu_state_bytes() + model.workspace_bytes(per_executor_batch);
+  return 2.0 * throughput_->bandwidth().host_device_copy_time(context);
+}
+
+Seconds LitzModel::iteration_time(const train::ModelSpec& model, int workers,
+                                  int total_batch) const {
+  require(workers > 0 && total_batch > 0, "litz: bad arguments");
+  const int executors = params_.executors_per_worker;
+  const int per_worker = (total_batch + workers - 1) / workers;
+  const int per_executor = std::max(1, per_worker / executors);
+  Seconds t = 0;
+  for (int e = 0; e < executors; ++e) {
+    t += throughput_->compute_time(model, per_executor);
+    t += context_switch_time(model, per_executor);
+  }
+  // Local gradient aggregation: one allreduce per global iteration; it
+  // cannot overlap backward because the last executor's context has already
+  // been swapped out.
+  t += throughput_->allreduce_time(model, workers);
+  return t;
+}
+
+double LitzModel::throughput(const train::ModelSpec& model, int workers,
+                             int total_batch) const {
+  return static_cast<double>(total_batch) / iteration_time(model, workers, total_batch);
+}
+
+double LitzModel::relative_throughput(const train::ModelSpec& model, int workers,
+                                      int total_batch) const {
+  const double elan = throughput_->throughput(model, workers, total_batch);
+  ensure(elan > 0, "litz: zero Elan throughput");
+  return throughput(model, workers, total_batch) / elan;
+}
+
+}  // namespace elan::baselines

@@ -1,0 +1,56 @@
+// Litz baseline (paper §VI-A, Fig 16).
+//
+// Litz represents programming-model-based elastic training: each physical
+// worker hosts several *executors*; elasticity comes from moving executors,
+// not processes. The cost is that executors time-share the GPU: switching
+// between them moves the context (parameters, optimizer state and
+// activations/workspace) out to CPU memory and the next context in, over
+// PCIe. With local gradient aggregation the executors on one worker reduce
+// their gradients locally and the group allreduces once per global batch.
+//
+//   t_iter(Litz-E) = E * [ t_compute(b/E) + t_context_switch ] + t_allreduce
+//   t_context_switch = 2 * (gpu_state + workspace/E) / B_pcie
+//
+// The paper's observation: frequent CPU-GPU movement dwarfs compute; Litz-4
+// does more (smaller-batch) compute than Litz-2 and still loses. The figure
+// reports throughput *relative to Elan*.
+#pragma once
+
+#include "common/units.h"
+#include "train/throughput.h"
+
+namespace elan::baselines {
+
+struct LitzParams {
+  int executors_per_worker = 2;  // Litz-2 / Litz-4 variants
+};
+
+class LitzModel {
+ public:
+  LitzModel(const train::ThroughputModel& throughput, LitzParams params)
+      : throughput_(&throughput), params_(params) {}
+
+  const LitzParams& params() const { return params_; }
+
+  /// Time to move one executor context (state + activations for its batch)
+  /// out and the next one in.
+  Seconds context_switch_time(const train::ModelSpec& model, int per_executor_batch) const;
+
+  /// One global iteration over `workers` workers with total batch size
+  /// `total_batch` (each worker runs its executors sequentially, then the
+  /// locally aggregated gradients are allreduced).
+  Seconds iteration_time(const train::ModelSpec& model, int workers, int total_batch) const;
+
+  double throughput(const train::ModelSpec& model, int workers, int total_batch) const;
+
+  /// Throughput relative to Elan at the same configuration (Fig 16's metric;
+  /// Elan's relative throughput is 1).
+  double relative_throughput(const train::ModelSpec& model, int workers,
+                             int total_batch) const;
+
+ private:
+  const train::ThroughputModel* throughput_;
+  LitzParams params_;
+};
+
+}  // namespace elan::baselines

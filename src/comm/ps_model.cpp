@@ -1,0 +1,40 @@
+#include "comm/ps_model.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+
+namespace elan::comm {
+
+Seconds PsModel::sync_time(Bytes payload, int workers) const {
+  require(workers > 0, "ps: non-positive workers");
+  require(params_.num_servers > 0, "ps: non-positive servers");
+  const auto& net = bandwidth_->params(topo::LinkLevel::kL4);
+  const double shard = static_cast<double>(payload) / params_.num_servers;
+
+  // Worker side: push S + pull S through its own NIC (sharded across
+  // servers, so the per-flow size is S/servers but the volume is 2S).
+  const double worker_bw =
+      bandwidth_->effective_bandwidth(topo::LinkLevel::kL4, static_cast<Bytes>(shard) + 1);
+  const Seconds worker_side = 2.0 * static_cast<double>(payload) / worker_bw;
+
+  // Server side: each server NIC carries its shard from/to *every* worker:
+  // 2 * (S/servers) * workers bytes. This is the term that grows linearly
+  // with the worker count — the bottleneck.
+  const Seconds server_side = 2.0 * shard * workers / worker_bw;
+
+  // Host-memory aggregation: each server applies its shard's updates from
+  // every worker (servers run in parallel).
+  const Seconds cpu =
+      params_.server_cpu_seconds_per_gib * (shard * workers / static_cast<double>(1_GiB));
+
+  return net.latency * 2.0 + std::max(worker_side, server_side) + cpu;
+}
+
+BytesPerSecond PsModel::effective_bandwidth(Bytes payload, int workers) const {
+  const Seconds t = sync_time(payload, workers);
+  if (t <= 0) return 0;
+  return static_cast<double>(payload) / t;
+}
+
+}  // namespace elan::comm

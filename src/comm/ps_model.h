@@ -1,0 +1,45 @@
+// Parameter-server communication cost model.
+//
+// The paper's related-work argument (§I, §VII): PS-based elastic systems
+// (Litz, Cruise, DL2) simplify state management — all state lives in a set
+// of central CPU servers — but "PS can suffer from the communication
+// bottleneck in large-scale training". This model quantifies that: per
+// iteration every worker pushes gradients and pulls parameters through the
+// server NICs, whose aggregate ingress/egress grows linearly with the worker
+// count, while ring allreduce stays ~constant per link.
+#pragma once
+
+#include "common/units.h"
+#include "topology/bandwidth.h"
+
+namespace elan::comm {
+
+struct PsParams {
+  /// Number of parameter-server processes (the keyspace is sharded evenly).
+  int num_servers = 4;
+  /// CPU-side aggregation cost per byte per worker (the servers apply
+  /// updates in host memory).
+  double server_cpu_seconds_per_gib = 0.02;
+};
+
+class PsModel {
+ public:
+  PsModel(const topo::BandwidthModel& bandwidth, PsParams params = {})
+      : bandwidth_(&bandwidth), params_(params) {}
+
+  const PsParams& params() const { return params_; }
+
+  /// Time for one synchronous PS round (push gradients + pull parameters)
+  /// with `workers` workers and a `payload`-byte model.
+  Seconds sync_time(Bytes payload, int workers) const;
+
+  /// The equivalent bus bandwidth the PS round achieves (payload/time), for
+  /// apples-to-apples comparison with allreduce.
+  BytesPerSecond effective_bandwidth(Bytes payload, int workers) const;
+
+ private:
+  const topo::BandwidthModel* bandwidth_;
+  PsParams params_;
+};
+
+}  // namespace elan::comm

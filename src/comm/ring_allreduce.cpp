@@ -1,0 +1,137 @@
+#include "comm/ring_allreduce.h"
+
+#include <algorithm>
+#include <memory>
+
+#include "common/error.h"
+#include "topology/bandwidth.h"
+
+namespace elan::comm {
+
+namespace {
+
+struct RunState {
+  std::vector<std::vector<double>*> data;
+  std::size_t chunk_len = 0;
+  int n = 0;
+  Seconds step_time = 0;  // synchronous step duration (slowest ring edge)
+  Seconds started_at = 0;
+  std::function<void()> done;
+};
+
+std::pair<std::size_t, std::size_t> chunk_range(const RunState& s, int chunk) {
+  const std::size_t len = s.data.front()->size();
+  const auto begin = std::min(len, static_cast<std::size_t>(chunk) * s.chunk_len);
+  const auto end = std::min(len, begin + s.chunk_len);
+  return {begin, end};
+}
+
+/// One reduce-scatter step: rank r adds its chunk (r - step) into neighbour
+/// (r+1)'s copy.
+void reduce_scatter_step(RunState& s, int step) {
+  const int n = s.n;
+  // Snapshot the outgoing chunks first (all sends happen "simultaneously").
+  std::vector<std::vector<double>> outgoing(static_cast<std::size_t>(n));
+  for (int r = 0; r < n; ++r) {
+    const int chunk = ((r - step) % n + n) % n;
+    const auto [b, e] = chunk_range(s, chunk);
+    outgoing[static_cast<std::size_t>(r)].assign(s.data[static_cast<std::size_t>(r)]->begin() +
+                                                     static_cast<std::ptrdiff_t>(b),
+                                                 s.data[static_cast<std::size_t>(r)]->begin() +
+                                                     static_cast<std::ptrdiff_t>(e));
+  }
+  for (int r = 0; r < n; ++r) {
+    const int dst = (r + 1) % n;
+    const int chunk = ((r - step) % n + n) % n;
+    const auto [b, e] = chunk_range(s, chunk);
+    auto& dv = *s.data[static_cast<std::size_t>(dst)];
+    const auto& src = outgoing[static_cast<std::size_t>(r)];
+    for (std::size_t i = b; i < e; ++i) dv[i] += src[i - b];
+  }
+}
+
+/// One allgather step: rank r overwrites neighbour (r+1)'s chunk
+/// (r + 1 - step) with its own (already complete) copy.
+void allgather_step(RunState& s, int step) {
+  const int n = s.n;
+  std::vector<std::vector<double>> outgoing(static_cast<std::size_t>(n));
+  for (int r = 0; r < n; ++r) {
+    const int chunk = ((r + 1 - step) % n + n) % n;
+    const auto [b, e] = chunk_range(s, chunk);
+    outgoing[static_cast<std::size_t>(r)].assign(s.data[static_cast<std::size_t>(r)]->begin() +
+                                                     static_cast<std::ptrdiff_t>(b),
+                                                 s.data[static_cast<std::size_t>(r)]->begin() +
+                                                     static_cast<std::ptrdiff_t>(e));
+  }
+  for (int r = 0; r < n; ++r) {
+    const int dst = (r + 1) % n;
+    const int chunk = ((r + 1 - step) % n + n) % n;
+    const auto [b, e] = chunk_range(s, chunk);
+    auto& dv = *s.data[static_cast<std::size_t>(dst)];
+    const auto& src = outgoing[static_cast<std::size_t>(r)];
+    for (std::size_t i = b; i < e; ++i) dv[i] = src[i - b];
+  }
+}
+
+}  // namespace
+
+void RingAllreduce::run(std::vector<std::vector<double>*> per_rank,
+                        std::function<void()> done, Bytes bytes_per_element) {
+  require(per_rank.size() == static_cast<std::size_t>(group_->size()),
+          "ring allreduce: one vector per group member required");
+  require(!per_rank.empty() && per_rank.front() != nullptr, "ring allreduce: null input");
+  const std::size_t len = per_rank.front()->size();
+  for (auto* v : per_rank) {
+    require(v != nullptr && v->size() == len, "ring allreduce: length mismatch");
+  }
+
+  const int n = group_->size();
+  if (n == 1 || len == 0) {
+    last_duration_ = 0;
+    transfers_ = 0;
+    sim_->schedule(0.0, std::move(done));
+    return;
+  }
+
+  auto state = std::make_shared<RunState>();
+  state->data = std::move(per_rank);
+  state->n = n;
+  state->chunk_len = (len + static_cast<std::size_t>(n) - 1) / static_cast<std::size_t>(n);
+  state->started_at = sim_->now();
+  state->done = std::move(done);
+
+  // Synchronous steps: every rank sends one chunk per step; the step lasts as
+  // long as the slowest ring edge needs for one chunk.
+  const Bytes chunk_bytes = state->chunk_len * bytes_per_element;
+  const auto& ring = group_->ring();
+  const auto* bandwidth = &group_->bandwidth();
+  Seconds slowest = 0;
+  for (int r = 0; r < n; ++r) {
+    const auto level = group_->topology().link_level(
+        ring[static_cast<std::size_t>(r)], ring[static_cast<std::size_t>((r + 1) % n)]);
+    slowest = std::max(slowest, bandwidth->transfer_time(level, chunk_bytes));
+  }
+  state->step_time = slowest;
+  transfers_ = static_cast<std::uint64_t>(n) * (2u * static_cast<std::uint64_t>(n) - 2u);
+
+  // Schedule the 2(N-1) steps back to back.
+  auto run_step = std::make_shared<std::function<void(int)>>();
+  *run_step = [this, state, run_step](int step) {
+    const int n_ = state->n;
+    if (step < n_ - 1) {
+      reduce_scatter_step(*state, step);
+    } else {
+      allgather_step(*state, step - (n_ - 1));
+    }
+    if (step + 1 == 2 * (n_ - 1)) {
+      // This callback runs at the end of the final step: all time charged.
+      last_duration_ = sim_->now() - state->started_at;
+      sim_->schedule(0.0, [state] { state->done(); });
+      return;
+    }
+    sim_->schedule(state->step_time, [run_step, step] { (*run_step)(step + 1); });
+  };
+  sim_->schedule(state->step_time, [run_step] { (*run_step)(0); });
+}
+
+}  // namespace elan::comm

@@ -1,0 +1,46 @@
+#include "common/blob.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+
+namespace elan {
+
+std::uint64_t fnv1a(std::span<const std::uint8_t> data) {
+  std::uint64_t hash = 0xcbf29ce484222325ULL;
+  for (std::uint8_t b : data) {
+    hash ^= b;
+    hash *= 0x100000001b3ULL;
+  }
+  return hash;
+}
+
+std::uint64_t Blob::quick_fingerprint() const {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  if (data_.empty()) return h;
+  const std::size_t stride = std::max<std::size_t>(1, data_.size() / 64);
+  for (std::size_t i = 0; i < data_.size(); i += stride) {
+    h ^= data_[i];
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+void Blob::fill_pattern(std::uint64_t seed) {
+  std::uint64_t x = seed ^ 0x9e3779b97f4a7c15ULL;
+  for (std::size_t i = 0; i < data_.size(); ++i) {
+    // xorshift64* keeps the pattern cheap yet seed-sensitive.
+    x ^= x >> 12;
+    x ^= x << 25;
+    x ^= x >> 27;
+    data_[i] = static_cast<std::uint8_t>((x * 0x2545f4914f6cdd1dULL) >> 56);
+  }
+}
+
+void Blob::copy_from(const Blob& other) {
+  require(data_.size() == other.data_.size(),
+          "Blob::copy_from size mismatch: " + name_ + " <- " + other.name_);
+  data_ = other.data_;
+}
+
+}  // namespace elan

@@ -1,0 +1,43 @@
+// Error types shared across the library.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace elan {
+
+/// Base class for all Elan errors.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// A caller supplied an invalid argument or configuration.
+class InvalidArgument : public Error {
+ public:
+  explicit InvalidArgument(const std::string& what) : Error("invalid argument: " + what) {}
+};
+
+/// Internal invariant violated; indicates a bug in the library.
+class InternalError : public Error {
+ public:
+  explicit InternalError(const std::string& what) : Error("internal error: " + what) {}
+};
+
+/// A requested entity (worker, file, key, ...) does not exist.
+class NotFound : public Error {
+ public:
+  explicit NotFound(const std::string& what) : Error("not found: " + what) {}
+};
+
+/// Throws InvalidArgument if `cond` is false.
+inline void require(bool cond, const std::string& what) {
+  if (!cond) throw InvalidArgument(what);
+}
+
+/// Throws InternalError if `cond` is false.
+inline void ensure(bool cond, const std::string& what) {
+  if (!cond) throw InternalError(what);
+}
+
+}  // namespace elan

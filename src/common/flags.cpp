@@ -1,0 +1,99 @@
+#include "common/flags.h"
+
+#include <cstdlib>
+#include <sstream>
+
+namespace elan {
+
+void Flags::define(const std::string& name, const std::string& default_value,
+                   const std::string& help) {
+  require(!name.empty() && name[0] != '-', "flag names are given without dashes");
+  require(specs_.emplace(name, Spec{default_value, help, std::nullopt}).second,
+          "duplicate flag: " + name);
+  order_.push_back(name);
+}
+
+const Flags::Spec& Flags::spec(const std::string& name) const {
+  auto it = specs_.find(name);
+  if (it == specs_.end()) throw NotFound("flag: " + name);
+  return it->second;
+}
+
+std::vector<std::string> Flags::parse(int argc, const char* const* argv) {
+  std::vector<std::string> positional;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) {
+      positional.push_back(std::move(arg));
+      continue;
+    }
+    arg = arg.substr(2);
+    if (arg == "help") {
+      help_ = true;
+      continue;
+    }
+    std::string value;
+    bool have_value = false;
+    if (const auto eq = arg.find('='); eq != std::string::npos) {
+      value = arg.substr(eq + 1);
+      arg = arg.substr(0, eq);
+      have_value = true;
+    }
+    auto it = specs_.find(arg);
+    require(it != specs_.end(), "unknown flag --" + arg);
+    if (!have_value) {
+      // Allow "--flag value" unless the next token is a flag (boolean form).
+      if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+        value = argv[++i];
+      } else {
+        value = "true";
+      }
+    }
+    it->second.value = value;
+  }
+  return positional;
+}
+
+bool Flags::has(const std::string& name) const { return spec(name).value.has_value(); }
+
+std::string Flags::get(const std::string& name) const {
+  const auto& s = spec(name);
+  return s.value.value_or(s.default_value);
+}
+
+std::int64_t Flags::get_int(const std::string& name) const {
+  const std::string v = get(name);
+  char* end = nullptr;
+  const auto out = std::strtoll(v.c_str(), &end, 10);
+  require(end != nullptr && *end == '\0' && !v.empty(),
+          "flag --" + name + " expects an integer, got '" + v + "'");
+  return out;
+}
+
+double Flags::get_double(const std::string& name) const {
+  const std::string v = get(name);
+  char* end = nullptr;
+  const double out = std::strtod(v.c_str(), &end);
+  require(end != nullptr && *end == '\0' && !v.empty(),
+          "flag --" + name + " expects a number, got '" + v + "'");
+  return out;
+}
+
+bool Flags::get_bool(const std::string& name) const {
+  const std::string v = get(name);
+  if (v == "true" || v == "1" || v == "yes") return true;
+  if (v == "false" || v == "0" || v == "no") return false;
+  throw InvalidArgument("flag --" + name + " expects a boolean, got '" + v + "'");
+}
+
+std::string Flags::usage(const std::string& program) const {
+  std::ostringstream os;
+  os << "usage: " << program << " [flags]\n";
+  for (const auto& name : order_) {
+    const auto& s = specs_.at(name);
+    os << "  --" << name << " (default: " << s.default_value << ")  " << s.help << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace elan

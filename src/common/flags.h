@@ -1,0 +1,52 @@
+// Minimal command-line flag parser for the CLI tools.
+//
+// Supports --key=value, --key value and boolean --key. Unrecognised flags
+// throw, values are type-checked, and `usage()` renders help from the
+// registered flags. Deliberately tiny: the tools need a dozen flags, not a
+// framework.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/error.h"
+
+namespace elan {
+
+class Flags {
+ public:
+  /// Registers a flag with a default value and a help line.
+  void define(const std::string& name, const std::string& default_value,
+              const std::string& help);
+
+  /// Parses argv; throws InvalidArgument on unknown flags or missing values.
+  /// Returns leftover positional arguments.
+  std::vector<std::string> parse(int argc, const char* const* argv);
+
+  bool has(const std::string& name) const;
+  std::string get(const std::string& name) const;
+  std::int64_t get_int(const std::string& name) const;
+  double get_double(const std::string& name) const;
+  bool get_bool(const std::string& name) const;
+
+  /// True when --help was passed.
+  bool help_requested() const { return help_; }
+  std::string usage(const std::string& program) const;
+
+ private:
+  struct Spec {
+    std::string default_value;
+    std::string help;
+    std::optional<std::string> value;
+  };
+  std::map<std::string, Spec> specs_;
+  std::vector<std::string> order_;
+  bool help_ = false;
+
+  const Spec& spec(const std::string& name) const;
+};
+
+}  // namespace elan

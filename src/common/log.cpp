@@ -1,0 +1,41 @@
+#include "common/log.h"
+
+#include <cstdio>
+
+namespace elan {
+
+namespace {
+
+LogLevel g_level = LogLevel::kWarn;
+Logger::Sink g_sink;
+
+const char* level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::kTrace: return "TRACE";
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO";
+    case LogLevel::kWarn: return "WARN";
+    case LogLevel::kError: return "ERROR";
+    case LogLevel::kOff: return "OFF";
+  }
+  return "?";
+}
+
+}  // namespace
+
+LogLevel Logger::level() { return g_level; }
+
+void Logger::set_level(LogLevel level) { g_level = level; }
+
+void Logger::set_sink(Sink sink) { g_sink = std::move(sink); }
+
+void Logger::log(LogLevel level, const std::string& message) {
+  if (level < g_level) return;
+  if (g_sink) {
+    g_sink(level, message);
+    return;
+  }
+  std::fprintf(stderr, "[%s] %s\n", level_name(level), message.c_str());
+}
+
+}  // namespace elan

@@ -1,0 +1,60 @@
+// Minimal leveled logger.
+//
+// The simulator is deterministic and single threaded, so the logger is
+// intentionally simple: a global level, a sink that defaults to stderr, and
+// printf-free stream-style composition at the call site via Logger::log.
+#pragma once
+
+#include <functional>
+#include <sstream>
+#include <string>
+
+namespace elan {
+
+enum class LogLevel { kTrace = 0, kDebug = 1, kInfo = 2, kWarn = 3, kError = 4, kOff = 5 };
+
+/// Global logger. Not thread-safe by design (the simulator is single-threaded).
+class Logger {
+ public:
+  using Sink = std::function<void(LogLevel, const std::string&)>;
+
+  static LogLevel level();
+  static void set_level(LogLevel level);
+
+  /// Replace the sink (used by tests to capture output). Pass nullptr to
+  /// restore the default stderr sink.
+  static void set_sink(Sink sink);
+
+  static void log(LogLevel level, const std::string& message);
+  static bool enabled(LogLevel level) { return level >= Logger::level(); }
+};
+
+namespace detail {
+
+class LogLine {
+ public:
+  explicit LogLine(LogLevel level) : level_(level) {}
+  ~LogLine() { Logger::log(level_, stream_.str()); }
+  LogLine(const LogLine&) = delete;
+  LogLine& operator=(const LogLine&) = delete;
+
+  template <typename T>
+  LogLine& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace detail
+
+inline detail::LogLine log_trace() { return detail::LogLine(LogLevel::kTrace); }
+inline detail::LogLine log_debug() { return detail::LogLine(LogLevel::kDebug); }
+inline detail::LogLine log_info() { return detail::LogLine(LogLevel::kInfo); }
+inline detail::LogLine log_warn() { return detail::LogLine(LogLevel::kWarn); }
+inline detail::LogLine log_error() { return detail::LogLine(LogLevel::kError); }
+
+}  // namespace elan

@@ -1,0 +1,16 @@
+#include "common/rng.h"
+
+#include <algorithm>
+
+namespace elan {
+
+double Rng::truncated_normal(double mean, double stddev, double lo, double hi) {
+  for (int i = 0; i < 64; ++i) {
+    const double v = normal(mean, stddev);
+    if (v >= lo && v <= hi) return v;
+  }
+  // Degenerate parameters: fall back to clamping.
+  return std::clamp(mean, lo, hi);
+}
+
+}  // namespace elan

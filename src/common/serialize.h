@@ -1,0 +1,80 @@
+// Tiny binary serialisation used for checkpoints, KV-store persistence and
+// message payloads. Little-endian, length-prefixed, no versioning (the whole
+// repository is built together).
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/error.h"
+
+namespace elan {
+
+class BinaryWriter {
+ public:
+  template <typename T>
+    requires std::is_trivially_copyable_v<T>
+  void write(const T& value) {
+    const auto* p = reinterpret_cast<const std::uint8_t*>(&value);
+    buffer_.insert(buffer_.end(), p, p + sizeof(T));
+  }
+
+  void write_string(const std::string& s) {
+    write<std::uint64_t>(s.size());
+    buffer_.insert(buffer_.end(), s.begin(), s.end());
+  }
+
+  void write_bytes(std::span<const std::uint8_t> data) {
+    write<std::uint64_t>(data.size());
+    buffer_.insert(buffer_.end(), data.begin(), data.end());
+  }
+
+  const std::vector<std::uint8_t>& buffer() const { return buffer_; }
+  std::vector<std::uint8_t> take() { return std::move(buffer_); }
+
+ private:
+  std::vector<std::uint8_t> buffer_;
+};
+
+class BinaryReader {
+ public:
+  explicit BinaryReader(std::span<const std::uint8_t> data) : data_(data) {}
+
+  template <typename T>
+    requires std::is_trivially_copyable_v<T>
+  T read() {
+    ensure(pos_ + sizeof(T) <= data_.size(), "BinaryReader: out of data");
+    T value;
+    std::memcpy(&value, data_.data() + pos_, sizeof(T));
+    pos_ += sizeof(T);
+    return value;
+  }
+
+  std::string read_string() {
+    const auto n = read<std::uint64_t>();
+    ensure(pos_ + n <= data_.size(), "BinaryReader: string out of data");
+    std::string s(reinterpret_cast<const char*>(data_.data() + pos_), n);
+    pos_ += n;
+    return s;
+  }
+
+  std::vector<std::uint8_t> read_bytes() {
+    const auto n = read<std::uint64_t>();
+    ensure(pos_ + n <= data_.size(), "BinaryReader: bytes out of data");
+    std::vector<std::uint8_t> v(data_.begin() + static_cast<std::ptrdiff_t>(pos_),
+                                data_.begin() + static_cast<std::ptrdiff_t>(pos_ + n));
+    pos_ += n;
+    return v;
+  }
+
+  bool exhausted() const { return pos_ == data_.size(); }
+
+ private:
+  std::span<const std::uint8_t> data_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace elan

@@ -1,0 +1,58 @@
+#include "common/stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.h"
+
+namespace elan {
+
+void Stats::add(double v) {
+  values_.push_back(v);
+  sum_ += v;
+  sorted_ = false;
+}
+
+double Stats::mean() const {
+  if (values_.empty()) return 0.0;
+  return sum_ / static_cast<double>(values_.size());
+}
+
+double Stats::stddev() const {
+  if (values_.size() < 2) return 0.0;
+  const double m = mean();
+  double acc = 0.0;
+  for (double v : values_) acc += (v - m) * (v - m);
+  return std::sqrt(acc / static_cast<double>(values_.size() - 1));
+}
+
+double Stats::min() const {
+  require(!values_.empty(), "Stats::min on empty accumulator");
+  return *std::min_element(values_.begin(), values_.end());
+}
+
+double Stats::max() const {
+  require(!values_.empty(), "Stats::max on empty accumulator");
+  return *std::max_element(values_.begin(), values_.end());
+}
+
+void Stats::sort_if_needed() const {
+  if (!sorted_) {
+    std::sort(values_.begin(), values_.end());
+    sorted_ = true;
+  }
+}
+
+double Stats::percentile(double p) const {
+  require(!values_.empty(), "Stats::percentile on empty accumulator");
+  require(p >= 0.0 && p <= 100.0, "percentile out of range");
+  sort_if_needed();
+  if (values_.size() == 1) return values_[0];
+  const double idx = p / 100.0 * static_cast<double>(values_.size() - 1);
+  const auto lo = static_cast<std::size_t>(idx);
+  const auto hi = std::min(lo + 1, values_.size() - 1);
+  const double frac = idx - static_cast<double>(lo);
+  return values_[lo] * (1.0 - frac) + values_[hi] * frac;
+}
+
+}  // namespace elan

@@ -1,0 +1,34 @@
+// Streaming statistics accumulator (mean / stddev / min / max / percentiles).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace elan {
+
+class Stats {
+ public:
+  void add(double v);
+
+  std::size_t count() const { return values_.size(); }
+  double sum() const { return sum_; }
+  double mean() const;
+  /// Sample standard deviation (n-1 denominator); 0 for fewer than 2 samples.
+  double stddev() const;
+  double min() const;
+  double max() const;
+  /// Linear-interpolated percentile, p in [0, 100].
+  double percentile(double p) const;
+  double median() const { return percentile(50.0); }
+
+  const std::vector<double>& values() const { return values_; }
+
+ private:
+  mutable std::vector<double> values_;
+  mutable bool sorted_ = true;
+  double sum_ = 0.0;
+
+  void sort_if_needed() const;
+};
+
+}  // namespace elan

@@ -1,0 +1,68 @@
+#include "common/table.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <ostream>
+#include <sstream>
+
+#include "common/error.h"
+
+namespace elan {
+
+void Table::add_row(std::vector<std::string> row) {
+  require(row.size() == header_.size(), "Table row width mismatch");
+  rows_.push_back(std::move(row));
+}
+
+std::string Table::to_cell(double v) {
+  char buf[64];
+  if (v == 0.0 || (std::abs(v) >= 0.01 && std::abs(v) < 1e7)) {
+    std::snprintf(buf, sizeof(buf), "%.3f", v);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.3e", v);
+  }
+  return buf;
+}
+
+std::string Table::to_cell(int v) { return std::to_string(v); }
+std::string Table::to_cell(long v) { return std::to_string(v); }
+std::string Table::to_cell(unsigned long v) { return std::to_string(v); }
+std::string Table::to_cell(unsigned long long v) { return std::to_string(v); }
+
+void Table::print(std::ostream& os) const {
+  std::vector<std::size_t> widths(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) widths[c] = header_[c].size();
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) widths[c] = std::max(widths[c], row[c].size());
+  }
+
+  auto print_row = [&](const std::vector<std::string>& row) {
+    os << "|";
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      os << ' ' << row[c] << std::string(widths[c] - row[c].size(), ' ') << " |";
+    }
+    os << '\n';
+  };
+
+  auto print_rule = [&]() {
+    os << "+";
+    for (std::size_t c = 0; c < widths.size(); ++c) {
+      os << std::string(widths[c] + 2, '-') << '+';
+    }
+    os << '\n';
+  };
+
+  print_rule();
+  print_row(header_);
+  print_rule();
+  for (const auto& row : rows_) print_row(row);
+  print_rule();
+}
+
+std::string Table::to_string() const {
+  std::ostringstream os;
+  print(os);
+  return os.str();
+}
+
+}  // namespace elan

@@ -1,0 +1,40 @@
+// ASCII table printer used by the benchmark harnesses to render paper-style
+// tables and figure series.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace elan {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header) : header_(std::move(header)) {}
+
+  /// Adds a row; must have the same number of cells as the header.
+  void add_row(std::vector<std::string> row);
+
+  /// Convenience: formats arbitrary streamable values into cells.
+  template <typename... Ts>
+  void add(const Ts&... cells) {
+    add_row({to_cell(cells)...});
+  }
+
+  void print(std::ostream& os) const;
+  std::string to_string() const;
+
+ private:
+  static std::string to_cell(const std::string& s) { return s; }
+  static std::string to_cell(const char* s) { return s; }
+  static std::string to_cell(double v);
+  static std::string to_cell(int v);
+  static std::string to_cell(long v);
+  static std::string to_cell(unsigned long v);
+  static std::string to_cell(unsigned long long v);
+
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace elan

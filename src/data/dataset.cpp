@@ -1,0 +1,10 @@
+#include "data/dataset.h"
+
+namespace elan::data {
+
+Dataset imagenet() { return Dataset{"ImageNet", 1'281'167, 110_KiB}; }
+Dataset cifar100() { return Dataset{"Cifar100", 50'000, 3_KiB}; }
+Dataset tatoeba() { return Dataset{"Tatoeba", 8'000'000, 120}; }
+Dataset wmt16() { return Dataset{"WMT16", 4'500'000, 280}; }
+
+}  // namespace elan::data

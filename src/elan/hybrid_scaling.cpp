@@ -1,0 +1,63 @@
+#include "elan/hybrid_scaling.h"
+
+#include "common/error.h"
+
+namespace elan {
+
+HybridScaling::HybridScaling(const train::ThroughputModel& throughput,
+                             const train::ModelSpec& model, HybridScalingParams params)
+    : throughput_(&throughput), model_(model), params_(params) {}
+
+ScalingDecision HybridScaling::decide(int workers_before, int total_batch_before,
+                                      int workers_after) const {
+  require(workers_before > 0 && workers_after > 0, "decide: bad worker counts");
+  require(total_batch_before > 0, "decide: bad batch size");
+
+  ScalingDecision d;
+  d.total_batch = total_batch_before;
+
+  if (workers_after <= workers_before) {
+    // Scaling in / migration: strong scaling is free (parallelism is already
+    // sufficient), unless the per-worker batch no longer fits in GPU memory.
+    int tbs = total_batch_before;
+    while (!throughput_->fits(model_, workers_after, tbs) && tbs > 1) tbs /= 2;
+    require(tbs >= 1 && throughput_->fits(model_, workers_after, tbs),
+            "decide: no feasible batch for scale-in target");
+    d.total_batch = tbs;
+    d.batch_factor = static_cast<double>(tbs) / total_batch_before;
+    d.weak_scaled = tbs != total_batch_before;
+    d.optimal_workers = throughput_->optimal_workers(model_, tbs);
+    return d;
+  }
+
+  // Scaling out — Algorithm 1.
+  const double ratio = static_cast<double>(workers_after) / workers_before;
+  double k = 1.0;
+  while (k <= ratio && k <= params_.max_factor) {
+    const int tbs = static_cast<int>(k * total_batch_before);
+    if (throughput_->fits(model_, workers_after, tbs)) {
+      const int n_opt = throughput_->optimal_workers(model_, tbs);
+      if (n_opt >= workers_after) {
+        d.total_batch = tbs;
+        d.batch_factor = k;
+        d.weak_scaled = k != 1.0;
+        d.optimal_workers = n_opt;
+        return d;
+      }
+    }
+    k *= 2.0;
+  }
+
+  // All trials failed: apply weak scaling proportional to the resource
+  // change (Algorithm 1 line 15).
+  k = std::min(ratio, params_.max_factor);
+  int tbs = static_cast<int>(k * total_batch_before);
+  while (!throughput_->fits(model_, workers_after, tbs) && tbs > total_batch_before) tbs /= 2;
+  d.total_batch = tbs;
+  d.batch_factor = static_cast<double>(tbs) / total_batch_before;
+  d.weak_scaled = tbs != total_batch_before;
+  d.optimal_workers = 0;
+  return d;
+}
+
+}  // namespace elan

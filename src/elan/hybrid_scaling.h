@@ -1,0 +1,58 @@
+// Hybrid scaling mechanism (paper §III, Algorithm 1).
+//
+// On a resource adjustment from N to N' workers, decide the new total batch
+// size: try strong scaling first (keep TBS); if the post-adjustment worker
+// count exceeds the optimal worker count for that TBS (resources would be
+// under-utilised), weakly scale the batch by doubling until the optimum
+// covers N'; if all trials fail, scale the batch proportionally to the
+// resource change. The learning rate scales with the chosen batch factor and
+// is ramped by the progressive linear scaling rule (LrController).
+#pragma once
+
+#include <cstdint>
+
+#include "train/models.h"
+#include "train/throughput.h"
+
+namespace elan {
+
+struct ScalingDecision {
+  int total_batch = 0;    // TBS'
+  double batch_factor = 1.0;  // k = TBS'/TBS; also the LR scaling factor
+  bool weak_scaled = false;   // true iff the batch size changed
+  /// N_opt for the chosen TBS' (diagnostic; 0 when the proportional fallback
+  /// was taken).
+  int optimal_workers = 0;
+};
+
+struct HybridScalingParams {
+  /// Iterations over which the LR ramp completes (T in Eq. 3). The paper's
+  /// ResNet-50 experiment uses 100.
+  std::uint64_t ramp_iterations = 100;
+  /// Upper bound on the weak-scaling factor per adjustment; guards against
+  /// pathological N'/N ratios.
+  double max_factor = 64.0;
+};
+
+class HybridScaling {
+ public:
+  HybridScaling(const train::ThroughputModel& throughput, const train::ModelSpec& model,
+                HybridScalingParams params = {});
+
+  const HybridScalingParams& params() const { return params_; }
+
+  /// GETTOTALBATCHSIZE (Algorithm 1): the new total batch size when adjusting
+  /// from `workers_before` (with `total_batch_before`) to `workers_after`.
+  ///
+  /// Scaling in (or no change) keeps the batch unless it no longer fits in
+  /// GPU memory, in which case the batch shrinks to the largest fitting
+  /// power-of-two multiple.
+  ScalingDecision decide(int workers_before, int total_batch_before, int workers_after) const;
+
+ private:
+  const train::ThroughputModel* throughput_;
+  train::ModelSpec model_;
+  HybridScalingParams params_;
+};
+
+}  // namespace elan

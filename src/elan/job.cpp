@@ -1,0 +1,658 @@
+#include "elan/job.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+#include "common/log.h"
+#include "common/serialize.h"
+
+namespace elan {
+
+const char* to_string(Mechanism mechanism) {
+  switch (mechanism) {
+    case Mechanism::kElan: return "Elan";
+    case Mechanism::kShutdownRestart: return "S&R";
+  }
+  return "?";
+}
+
+const char* to_string(DataSemantics semantics) {
+  switch (semantics) {
+    case DataSemantics::kSerial: return "serial";
+    case DataSemantics::kChunk: return "chunk";
+  }
+  return "?";
+}
+
+ElasticJob::ElasticJob(sim::Simulator& simulator, const topo::Topology& topology,
+                       const topo::BandwidthModel& bandwidth,
+                       storage::SimFilesystem& filesystem, transport::MessageBus& bus,
+                       transport::KvStore& kv, JobConfig config,
+                       memory::MemoryPool* memory_pool)
+    : sim_(simulator),
+      topology_(topology),
+      bandwidth_(bandwidth),
+      fs_(filesystem),
+      bus_(bus),
+      kv_(kv),
+      config_(std::move(config)),
+      rng_(config_.seed),
+      throughput_(topology, bandwidth),
+      hybrid_(throughput_, config_.model, config_.hybrid),
+      planner_(topology, bandwidth),
+      sampler_(config_.model.dataset),
+      lr_controller_(train::StepSchedule(config_.base_lr, config_.lr_milestones)),
+      total_batch_(config_.initial_total_batch) {
+  memory_pool_ = memory_pool;
+  require(config_.initial_workers > 0, "job: need at least one worker");
+  require(config_.initial_workers <= topology_.total_gpus(), "job: more workers than GPUs");
+  require(config_.coordination_interval > 0, "job: coordination interval must be positive");
+  require(throughput_.fits(config_.model, config_.initial_workers, total_batch_),
+          "job: initial batch does not fit");
+
+  if (config_.data_semantics == DataSemantics::kChunk) {
+    chunk_sampler_ = std::make_unique<data::ChunkSampler>(
+        config_.model.dataset, config_.chunk_size, config_.initial_workers);
+  }
+
+  if (config_.initial_gpus.empty()) {
+    for (int i = 0; i < config_.initial_workers; ++i) {
+      config_.initial_gpus.push_back(static_cast<topo::GpuId>(i));
+    }
+  }
+  require(config_.initial_gpus.size() == static_cast<std::size_t>(config_.initial_workers),
+          "job: initial_gpus size mismatch");
+  std::vector<WorkerLaunchSpec> initial;
+  for (int i = 0; i < config_.initial_workers; ++i) {
+    initial.push_back({i, config_.initial_gpus[static_cast<std::size_t>(i)]});
+  }
+  master_ = std::make_unique<ApplicationMaster>(bus_, kv_, config_.job_id, initial);
+  sched_endpoint_ = std::make_unique<transport::ReliableEndpoint>(
+      bus_, "sched/" + config_.job_id, [this](const transport::Message& msg) {
+        if (msg.type == "adjust_reply") {
+          on_adjust_reply(AdjustReplyMsg::deserialize(msg.payload));
+        } else {
+          log_warn() << config_.job_id << ": scheduler got unexpected " << msg.type;
+        }
+      });
+  allocated_batch_ =
+      (total_batch_ + config_.initial_workers - 1) / config_.initial_workers;
+  for (const auto& spec : initial) {
+    allocate_worker_memory(spec.worker, spec.gpu);
+    workers_.emplace(spec.worker, make_worker(spec.worker, spec.gpu, /*running=*/true));
+  }
+}
+
+void ElasticJob::allocate_worker_memory(int worker, topo::GpuId gpu) {
+  if (memory_pool_ == nullptr) return;
+  auto& device = memory_pool_->device(gpu);
+  WorkerAllocations a;
+  a.gpu = gpu;
+  a.state = device.allocate(config_.job_id + "/w" + std::to_string(worker) + "/state",
+                            config_.model.gpu_state_bytes());
+  a.workspace =
+      device.allocate(config_.job_id + "/w" + std::to_string(worker) + "/workspace",
+                      config_.model.workspace_bytes(allocated_batch_));
+  allocations_.emplace(worker, a);
+}
+
+void ElasticJob::free_worker_memory(int worker) {
+  if (memory_pool_ == nullptr) return;
+  auto it = allocations_.find(worker);
+  ensure(it != allocations_.end(), "memory accounting lost worker");
+  auto& device = memory_pool_->device(it->second.gpu);
+  device.free(it->second.state);
+  device.free(it->second.workspace);
+  allocations_.erase(it);
+}
+
+void ElasticJob::resize_workspaces() {
+  if (memory_pool_ == nullptr) return;
+  const int batch = per_worker_batch();
+  if (batch == allocated_batch_) return;
+  allocated_batch_ = batch;
+  for (auto& [worker, a] : allocations_) {
+    auto& device = memory_pool_->device(a.gpu);
+    device.free(a.workspace);
+    a.workspace =
+        device.allocate(config_.job_id + "/w" + std::to_string(worker) + "/workspace",
+                        config_.model.workspace_bytes(batch));
+  }
+}
+
+ElasticJob::~ElasticJob() {
+  // Return all device memory to a shared pool (it outlives the job).
+  if (memory_pool_ != nullptr) {
+    for (const auto& [worker, a] : allocations_) {
+      memory_pool_->device(a.gpu).free(a.state);
+      memory_pool_->device(a.gpu).free(a.workspace);
+    }
+  }
+}
+
+std::unique_ptr<WorkerProcess> ElasticJob::make_worker(int id, topo::GpuId gpu,
+                                                       bool already_running) {
+  auto w = std::make_unique<WorkerProcess>(sim_, bus_, config_.job_id, id, gpu, config_.model,
+                                           config_.engine, config_.worker_params, rng_.fork(),
+                                           already_running, config_.engine_factory);
+  register_loader_hook(*w);
+  return w;
+}
+
+void ElasticJob::register_loader_hook(WorkerProcess& worker) {
+  // The sampler is logically global (one loader view for the whole job);
+  // each worker exposes it through its own hook so replication and
+  // checkpointing carry it like any other state (Table II: CPU-resident).
+  // Under serial semantics the state is a single cursor; under chunk
+  // semantics it is the whole record table — the contrast of Fig 13.
+  if (config_.data_semantics == DataSemantics::kChunk) {
+    worker.hooks().register_hook(StateHook{
+        "data_loader", StateLocation::kCpu,
+        config_.worker_params.loader_state_bytes + chunk_sampler_->state_bytes(),
+        [this] { return Blob("data_loader", chunk_sampler_->serialize_state()); },
+        [this](const Blob& b) { chunk_sampler_->restore_state(b.bytes()); }});
+    return;
+  }
+  worker.hooks().register_hook(StateHook{
+      "data_loader", StateLocation::kCpu, config_.worker_params.loader_state_bytes,
+      [this] {
+        BinaryWriter w;
+        const auto s = sampler_.state();
+        w.write(s.epoch);
+        w.write(s.cursor);
+        return Blob("data_loader", w.take());
+      },
+      [this](const Blob& b) {
+        BinaryReader r(b.bytes());
+        data::SerialSampler::State s;
+        s.epoch = r.read<std::uint64_t>();
+        s.cursor = r.read<std::uint64_t>();
+        sampler_.restore(s);
+      }});
+}
+
+void ElasticJob::start() {
+  require(!running_, "job already started");
+  running_ = true;
+  begin_iteration();
+}
+
+std::vector<int> ElasticJob::worker_ids() const {
+  std::vector<int> ids;
+  ids.reserve(workers_.size());
+  for (const auto& [id, w] : workers_) ids.push_back(id);
+  return ids;
+}
+
+const WorkerProcess& ElasticJob::worker(int id) const {
+  auto it = workers_.find(id);
+  if (it == workers_.end()) throw NotFound("worker " + std::to_string(id));
+  return *it->second;
+}
+
+std::vector<std::uint64_t> ElasticJob::worker_checksums() const {
+  std::vector<std::uint64_t> sums;
+  sums.reserve(workers_.size());
+  for (const auto& [id, w] : workers_) sums.push_back(w->state_checksum());
+  return sums;
+}
+
+bool ElasticJob::consistent() const {
+  const auto sums = worker_checksums();
+  return std::adjacent_find(sums.begin(), sums.end(), std::not_equal_to<>()) == sums.end();
+}
+
+void ElasticJob::set_worker_slowdown(int worker, double factor) {
+  require(factor >= 1.0, "set_worker_slowdown: factor must be >= 1");
+  require(workers_.count(worker) > 0, "set_worker_slowdown: unknown worker");
+  if (factor == 1.0) {
+    slowdown_.erase(worker);
+  } else {
+    slowdown_[worker] = factor;
+  }
+}
+
+double ElasticJob::worker_slowdown(int worker) const {
+  auto it = slowdown_.find(worker);
+  return it == slowdown_.end() ? 1.0 : it->second;
+}
+
+Seconds ElasticJob::repartition_cost() const {
+  if (!chunk_sampler_) return 0.0;
+  // Record-table scan/rebalance plus a control-plane sync round.
+  return 0.002 + 1e-7 * static_cast<double>(chunk_sampler_->num_chunks());
+}
+
+Seconds ElasticJob::current_iteration_time() const {
+  const int n = num_workers();
+  const int per_worker = (total_batch_ + n - 1) / n;
+  const Seconds full = throughput_.iteration_time(config_.model, n, per_worker);
+  const Seconds compute = throughput_.compute_time(config_.model, per_worker);
+  const Seconds engine_overhead = workers_.begin()->second->engine().per_iteration_overhead();
+  // Synchronous allreduce: the slowest replica's compute paces the barrier.
+  double straggle = 1.0;
+  for (const auto& [id, w] : workers_) straggle = std::max(straggle, worker_slowdown(id));
+  return compute * straggle + (full - compute) + engine_overhead;
+}
+
+std::uint64_t ElasticJob::gradient_seed(const data::SampleRange& range) const {
+  // All replicas of an iteration must derive the same seed: it encodes the
+  // globally-agreed data range (the simulated analogue of allreduce).
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  h = (h ^ sampler_.epoch()) * 0x100000001b3ULL;
+  h = (h ^ range.begin) * 0x100000001b3ULL;
+  h = (h ^ range.end) * 0x100000001b3ULL;
+  return h;
+}
+
+void ElasticJob::fail_worker(int worker) {
+  require(workers_.count(worker) > 0, "fail_worker: unknown worker");
+  auto& w = *workers_.at(worker);
+  // If the dead worker owes the current coordination round a decision, the
+  // round must not wait for it forever.
+  const bool owed_decision = w.has_pending_decision();
+  w.shutdown();
+  pending_failures_.push_back(worker);
+  if (owed_decision && decisions_outstanding_ > 0) {
+    if (--decisions_outstanding_ == 0) on_all_decisions();
+  }
+}
+
+void ElasticJob::process_pending_failures() {
+  if (pending_failures_.empty()) return;
+  int removed = 0;
+  for (int victim : pending_failures_) {
+    auto it = workers_.find(victim);
+    if (it == workers_.end()) continue;  // already left via an adjustment
+    ensure(workers_.size() > 1, "fail_worker: last worker died");
+    workers_.erase(it);
+    slowdown_.erase(victim);
+    free_worker_memory(victim);
+    master_->remove_failed(victim);
+    ++removed;
+    ++worker_failures_;
+    log_warn() << config_.job_id << ": worker " << victim
+               << " fail-stopped; continuing with " << workers_.size() << " replicas";
+  }
+  pending_failures_.clear();
+  if (removed == 0) {
+    // All "failures" had already left through an adjustment; just continue.
+    sim_.schedule(0.0, [this] { begin_iteration(); });
+    return;
+  }
+  // Survivors rebuild the communication group, then training resumes.
+  // The total batch is kept (strong scaling): work redistributes through the
+  // global serial cursor / chunk repartition automatically.
+  if (chunk_sampler_) chunk_sampler_->repartition(num_workers());
+  resize_workspaces();
+  const Seconds reconstruct = config_.group_params.reconstruct_fixed +
+                              config_.group_params.reconstruct_per_rank * num_workers();
+  sim_.schedule(reconstruct + repartition_cost(), [this] { begin_iteration(); });
+}
+
+void ElasticJob::begin_iteration() {
+  if (!running_) return;
+  if (stop_requested_ || (stop_at_iteration_ != 0 && iteration_ >= stop_at_iteration_)) {
+    running_ = false;
+    if (on_stopped) on_stopped();
+    return;
+  }
+  if (!pending_failures_.empty()) {
+    process_pending_failures();
+    return;  // resumes via the scheduled reconstruction
+  }
+  if (iteration_ % config_.coordination_interval == 0) {
+    coordinate_round();
+  } else {
+    train_step();
+  }
+}
+
+void ElasticJob::coordinate_round() {
+  decisions_outstanding_ = static_cast<int>(workers_.size());
+  adjust_signalled_ = false;
+  for (auto& [id, worker] : workers_) {
+    worker->coordinate(iteration_, [this](const DecisionMsg& decision) {
+      if (decision.adjust) {
+        adjust_signalled_ = true;
+        signalled_plan_ = decision.plan;
+      }
+      if (--decisions_outstanding_ == 0) on_all_decisions();
+    });
+  }
+}
+
+void ElasticJob::on_all_decisions() {
+  if (adjust_signalled_) {
+    perform_adjustment(signalled_plan_);
+  } else {
+    train_step();
+  }
+}
+
+ElasticJob::IterationData ElasticJob::consume_iteration_data() {
+  IterationData data;
+  if (config_.data_semantics == DataSemantics::kChunk) {
+    // Each worker (rank order) draws its share from its own chunks; near the
+    // epoch end some workers run dry earlier (fragmentation).
+    const auto per_worker =
+        static_cast<std::uint64_t>((total_batch_ + num_workers() - 1) / num_workers());
+    std::uint64_t mix = 0xcbf29ce484222325ULL ^ chunk_sampler_->epoch();
+    for (int rank = 0; rank < num_workers(); ++rank) {
+      const auto r = chunk_sampler_->next_batch(rank, per_worker);
+      data.consumed += r.size();
+      data.shards.push_back(r);
+      mix = (mix ^ r.begin) * 0x100000001b3ULL;
+      mix = (mix ^ r.end) * 0x100000001b3ULL;
+    }
+    if (data.consumed == 0) {
+      chunk_sampler_->begin_next_epoch();
+      return consume_iteration_data();
+    }
+    data.seed = mix;
+    return data;
+  }
+
+  auto range = sampler_.next_batch(static_cast<std::uint64_t>(total_batch_));
+  if (range.empty()) {
+    sampler_.begin_next_epoch();
+    range = sampler_.next_batch(static_cast<std::uint64_t>(total_batch_));
+  }
+  data.seed = gradient_seed(range);
+  data.consumed = range.size();
+  // Serial semantics: the global contiguous range splits into contiguous
+  // per-worker shards in rank order.
+  const int n = num_workers();
+  const auto per_worker = (range.size() + static_cast<std::uint64_t>(n) - 1) /
+                          static_cast<std::uint64_t>(n);
+  for (int r = 0; r < n; ++r) {
+    const auto begin = std::min(range.end, range.begin + per_worker * static_cast<std::uint64_t>(r));
+    const auto end = std::min(range.end, begin + per_worker);
+    data.shards.push_back(data::SampleRange{begin, end});
+  }
+  return data;
+}
+
+Seconds ElasticJob::worker_compute_time(int worker) {
+  const Seconds base =
+      throughput_.compute_time(config_.model, per_worker_batch()) * worker_slowdown(worker);
+  if (config_.compute_jitter_cv <= 0.0) return base;
+  return base * rng_.truncated_normal(1.0, config_.compute_jitter_cv, 0.5, 2.0);
+}
+
+Seconds ElasticJob::post_barrier_time() const {
+  // Exposed allreduce (whatever backward could not hide) plus the engine's
+  // per-iteration host overhead.
+  const int n = num_workers();
+  const Seconds full = throughput_.iteration_time(config_.model, n, per_worker_batch());
+  const Seconds compute = throughput_.compute_time(config_.model, per_worker_batch());
+  const Seconds engine_overhead = workers_.begin()->second->engine().per_iteration_overhead();
+  return (full - compute) + engine_overhead;
+}
+
+void ElasticJob::train_step() {
+  ideal_training_time_ += current_iteration_time();
+  // Each worker computes at its own pace; the allreduce barrier waits for
+  // the slowest replica, then the exposed communication completes the
+  // iteration (synchronous data parallelism).
+  compute_outstanding_ = static_cast<int>(workers_.size());
+  for (auto& [id, worker] : workers_) {
+    sim_.schedule(worker_compute_time(id), [this]() {
+      if (--compute_outstanding_ > 0) return;
+      sim_.schedule(post_barrier_time(), [this]() { finish_train_step(); });
+    });
+  }
+}
+
+void ElasticJob::finish_train_step() {
+  const auto data = consume_iteration_data();
+  samples_processed_ += data.consumed;
+  const double lr = lr_controller_.lr(iteration_);
+
+  // Local forward/backward on every replica's shard.
+  int rank = 0;
+  for (auto& [id, worker] : workers_) {
+    worker->engine().compute_gradients(data.seed, data.shards[static_cast<std::size_t>(rank++)]);
+  }
+  // Gradient allreduce for engines that expose real gradient buffers
+  // (cost-modelled engines synchronise through the shared seed instead).
+  std::vector<std::vector<double>*> grads;
+  for (auto& [id, worker] : workers_) {
+    if (auto* g = worker->engine().mutable_gradients()) grads.push_back(g);
+  }
+  if (grads.size() == workers_.size() && grads.size() > 1) {
+    comm::allreduce_sum(grads);
+    const double n = static_cast<double>(grads.size());
+    for (auto* g : grads) {
+      for (auto& v : *g) v /= n;
+    }
+  }
+  // Identical update everywhere.
+  for (auto& [id, worker] : workers_) {
+    worker->engine().apply_update(data.seed, lr);
+    worker->engine().bump_iteration();
+  }
+
+  ++iteration_;
+  if (on_iteration) on_iteration(iteration_);
+  begin_iteration();
+}
+
+void ElasticJob::crash_master() { master_->crash(); }
+
+void ElasticJob::recover_master() {
+  master_.reset();  // release the endpoint name before re-attaching
+  master_ = ApplicationMaster::recover(bus_, kv_, config_.job_id);
+}
+
+void ElasticJob::send_adjust_request(AdjustRequestMsg msg) {
+  last_request_time_ = sim_.now();
+  msg.request_id = next_request_id_++;
+  ++requests_in_flight_;
+  sched_endpoint_->send(master_->name(), "adjust_request", msg.serialize());
+}
+
+void ElasticJob::on_adjust_reply(const AdjustReplyMsg& reply) {
+  --requests_in_flight_;
+  if (!reply.ok) {
+    log_warn() << config_.job_id << ": adjustment request " << reply.request_id
+               << " rejected: " << reply.error;
+    return;
+  }
+  // Step 1 continued: "It also launches new workers if any."
+  for (const auto& [id, gpu] : reply.launch) {
+    allocate_worker_memory(id, gpu);
+    auto w = make_worker(id, gpu, /*running=*/false);
+    w->launch();
+    joining_.emplace(id, std::move(w));
+  }
+}
+
+void ElasticJob::request_scale_out(const std::vector<topo::GpuId>& gpus) {
+  AdjustRequestMsg msg;
+  msg.type = AdjustmentType::kScaleOut;
+  msg.gpus = gpus;
+  send_adjust_request(std::move(msg));
+}
+
+void ElasticJob::request_scale_in(const std::vector<int>& victims) {
+  AdjustRequestMsg msg;
+  msg.type = AdjustmentType::kScaleIn;
+  msg.victims = victims;
+  send_adjust_request(std::move(msg));
+}
+
+void ElasticJob::request_migration(const std::vector<int>& victims,
+                                   const std::vector<topo::GpuId>& target_gpus) {
+  AdjustRequestMsg msg;
+  msg.type = AdjustmentType::kMigrate;
+  msg.victims = victims;
+  msg.gpus = target_gpus;
+  send_adjust_request(std::move(msg));
+}
+
+void ElasticJob::perform_adjustment(const AdjustmentPlan& plan) {
+  AdjustmentRecord record;
+  record.type = plan.type;
+  record.plan_version = plan.version;
+  record.workers_before = num_workers();
+  record.total_batch_before = total_batch_;
+  record.requested_at = last_request_time_;
+  record.started_at = sim_.now();
+
+  if (config_.mechanism == Mechanism::kElan) {
+    execute_elan_adjustment(std::move(record), plan);
+  } else {
+    execute_snr_adjustment(std::move(record), plan);
+  }
+}
+
+void ElasticJob::execute_elan_adjustment(AdjustmentRecord record, const AdjustmentPlan& plan) {
+  const int workers_after = num_workers() + static_cast<int>(plan.join.size()) -
+                            static_cast<int>(plan.leave.size());
+  const auto decision = hybrid_.decide(num_workers(), total_batch_, workers_after);
+
+  // Step 4 (Fig 2): concurrent IO-free state replication.
+  Seconds replication_time = 0;
+  if (!plan.join.empty()) {
+    ReplicationRequest request;
+    for (const auto& [id, w] : workers_) request.existing.emplace(id, w->gpu());
+    for (const auto& [id, gpu] : plan.join) request.joining.emplace(id, gpu);
+    const auto& any_worker = *workers_.begin()->second;
+    request.gpu_state_bytes = any_worker.gpu_state_bytes();
+    request.cpu_state_bytes = any_worker.cpu_state_bytes();
+    const auto rep_plan = planner_.plan(request);
+    replication_time = rep_plan.total_time;
+
+    // Move the actual bytes along the planned source->destination pairs.
+    for (const auto& t : rep_plan.transfers) {
+      auto src = workers_.find(t.source_worker);
+      ensure(src != workers_.end(), "replication source vanished");
+      auto dst = joining_.find(t.dest_worker);
+      ensure(dst != joining_.end(), "replication destination not launched");
+      dst->second->hooks().load_all(src->second->hooks().save_all());
+    }
+  }
+  record.breakdown.replication = replication_time;
+
+  // Step 5: state adjustment — communication-group reconstruction; data
+  // repartition is free under serial semantics (the cursor is global) but
+  // costs a record-table rework under chunk semantics.
+  const Seconds reconstruct = config_.group_params.reconstruct_fixed +
+                              config_.group_params.reconstruct_per_rank * workers_after;
+  record.breakdown.reconstruct = reconstruct;
+  record.breakdown.repartition = repartition_cost();
+
+  sim_.schedule(replication_time + reconstruct + record.breakdown.repartition,
+                [this, record = std::move(record), plan, decision]() mutable {
+    finish_adjustment(std::move(record), plan, decision.batch_factor, decision.total_batch);
+  });
+}
+
+void ElasticJob::execute_snr_adjustment(AdjustmentRecord record, const AdjustmentPlan& plan) {
+  const int workers_after = num_workers() + static_cast<int>(plan.join.size()) -
+                            static_cast<int>(plan.leave.size());
+  const auto decision = hybrid_.decide(num_workers(), total_batch_, workers_after);
+  auto& any_worker = *workers_.begin()->second;
+  const Bytes gpu_bytes = any_worker.gpu_state_bytes();
+
+  // Checkpoint: rank 0 copies GPU state to host and writes everything to the
+  // shared filesystem.
+  const auto snapshot = any_worker.hooks().save_all();
+  const Seconds write_time = fs_.write(checkpoint_path(), snapshot.serialize());
+  record.breakdown.checkpoint = bandwidth_.host_device_copy_time(gpu_bytes) + write_time;
+
+  const bool is_migration = plan.type == AdjustmentType::kMigrate;
+  if (is_migration) {
+    // Existing workers are discarded, so S&R benefits from the asynchronous
+    // start of the replacements (already launched at request time): only
+    // checkpoint + load remain on the critical path (§VI-A2).
+    record.breakdown.shutdown = 0;
+    record.breakdown.start = 0;
+    record.breakdown.init = 0;
+  } else {
+    // Scale-out/in: every surviving worker is shut down and restarted with
+    // the new configuration — squarely on the critical path.
+    record.breakdown.shutdown = config_.worker_params.shutdown_time;
+    Seconds max_start = 0;
+    const int restarted = static_cast<int>(workers_.size()) -
+                          static_cast<int>(plan.leave.size());
+    for (int i = 0; i < restarted; ++i) {
+      max_start = std::max(
+          max_start, rng_.truncated_normal(config_.worker_params.start_mean,
+                                           config_.worker_params.start_stddev,
+                                           config_.worker_params.start_mean * 0.5,
+                                           config_.worker_params.start_mean * 2.0));
+    }
+    record.breakdown.start = max_start;
+    record.breakdown.init = any_worker.engine().initialization_time();
+  }
+
+  // All post-adjustment workers read the checkpoint concurrently and copy it
+  // back to their GPUs.
+  record.breakdown.load = fs_.concurrent_read_time(workers_after, snapshot.stored_bytes() +
+                                                                      gpu_bytes) +
+                          bandwidth_.host_device_copy_time(gpu_bytes);
+  record.breakdown.reconstruct = config_.group_params.reconstruct_fixed +
+                                 config_.group_params.reconstruct_per_rank * workers_after;
+  record.breakdown.repartition = repartition_cost();
+
+  // Restore every worker (new and surviving) from the checkpoint bytes.
+  const auto& stored = fs_.read(checkpoint_path());
+  const auto loaded = StateSnapshot::deserialize(stored);
+  for (auto& [id, w] : joining_) w->hooks().load_all(loaded);
+  for (auto& [id, w] : workers_) w->hooks().load_all(loaded);
+
+  const Seconds total = record.breakdown.total();
+  sim_.schedule(total, [this, record = std::move(record), plan, decision]() mutable {
+    finish_adjustment(std::move(record), plan, decision.batch_factor, decision.total_batch);
+  });
+}
+
+void ElasticJob::finish_adjustment(AdjustmentRecord record, const AdjustmentPlan& plan,
+                                   double batch_factor, int new_total_batch) {
+  // Remove leaving workers (straggler markings and GPU memory go with them).
+  // A victim may already be gone if it fail-stopped in the meantime.
+  for (int victim : plan.leave) {
+    auto it = workers_.find(victim);
+    if (it == workers_.end()) continue;
+    it->second->shutdown();
+    workers_.erase(it);
+    slowdown_.erase(victim);
+    free_worker_memory(victim);
+  }
+  // Admit joining workers.
+  for (const auto& [id, gpu] : plan.join) {
+    auto it = joining_.find(id);
+    ensure(it != joining_.end(), "joining worker missing");
+    ensure(it->second->state() == WorkerState::kReady, "joining worker not ready");
+    it->second->set_training();
+    workers_.emplace(id, std::move(it->second));
+    joining_.erase(it);
+  }
+
+  // Data repartition (step 5): free for the serial cursor; the chunk record
+  // table reassigns its remaining fragments to the new worker set.
+  if (chunk_sampler_) chunk_sampler_->repartition(num_workers());
+
+  // Hybrid scaling: adjust the batch size now and ramp the LR progressively.
+  total_batch_ = new_total_batch;
+  resize_workspaces();
+  if (batch_factor != 1.0) {
+    lr_controller_.apply_scaling(batch_factor, iteration_, config_.hybrid.ramp_iterations);
+  }
+  record.lr_factor = batch_factor;
+  record.workers_after = num_workers();
+  record.total_batch_after = total_batch_;
+  record.completed_at = sim_.now();
+  adjustments_.push_back(record);
+
+  master_->on_adjustment_complete();
+  log_info() << config_.job_id << ": " << to_string(record.type) << " "
+             << record.workers_before << "->" << record.workers_after << " in "
+             << record.pause_time() << "s (mechanism " << to_string(config_.mechanism)
+             << ")";
+  begin_iteration();
+}
+
+}  // namespace elan

@@ -1,0 +1,238 @@
+#include "elan/master.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+#include "common/log.h"
+
+namespace elan {
+
+const char* to_string(AmPhase phase) {
+  switch (phase) {
+    case AmPhase::kSteady: return "steady";
+    case AmPhase::kWaitingReady: return "waiting-ready";
+    case AmPhase::kReady: return "ready";
+    case AmPhase::kAdjusting: return "adjusting";
+  }
+  return "?";
+}
+
+ApplicationMaster::ApplicationMaster(transport::MessageBus& bus, transport::KvStore& kv,
+                                     std::string job_id,
+                                     std::vector<WorkerLaunchSpec> initial_workers)
+    : ApplicationMaster(bus, kv, std::move(job_id)) {
+  for (const auto& w : initial_workers) {
+    require(w.worker >= 0, "AM: bad initial worker id");
+    workers_.emplace(w.worker, w.gpu);
+    next_worker_id_ = std::max(next_worker_id_, w.worker + 1);
+  }
+  persist();
+}
+
+ApplicationMaster::ApplicationMaster(transport::MessageBus& bus, transport::KvStore& kv,
+                                     std::string job_id)
+    : bus_(bus), kv_(kv), job_id_(std::move(job_id)), name_("am/" + job_id_) {
+  attach_endpoint();
+}
+
+void ApplicationMaster::attach_endpoint() {
+  endpoint_ = std::make_unique<transport::ReliableEndpoint>(
+      bus_, name_, [this](const transport::Message& msg) { handle(msg); });
+}
+
+void ApplicationMaster::handle(const transport::Message& msg) {
+  if (msg.type == "report") {
+    on_report(ReportMsg::deserialize(msg.payload));
+  } else if (msg.type == "coordinate") {
+    on_coordinate(CoordinateMsg::deserialize(msg.payload), msg.from);
+  } else if (msg.type == "adjust_request") {
+    on_adjust_request(AdjustRequestMsg::deserialize(msg.payload), msg.from);
+  } else {
+    log_warn() << name_ << ": unknown message type " << msg.type;
+  }
+}
+
+void ApplicationMaster::on_adjust_request(const AdjustRequestMsg& msg,
+                                          const std::string& reply_to) {
+  AdjustReplyMsg reply;
+  reply.request_id = msg.request_id;
+  try {
+    std::vector<WorkerLaunchSpec> specs;
+    switch (msg.type) {
+      case AdjustmentType::kScaleOut:
+        specs = scale_out(msg.gpus);
+        break;
+      case AdjustmentType::kScaleIn:
+        scale_in(msg.victims);
+        break;
+      case AdjustmentType::kMigrate:
+        specs = migrate(msg.victims, msg.gpus);
+        break;
+    }
+    reply.ok = true;
+    for (const auto& s : specs) reply.launch.emplace_back(s.worker, s.gpu);
+  } catch (const Error& e) {
+    reply.ok = false;
+    reply.error = e.what();
+  }
+  endpoint_->send(reply_to, "adjust_reply", reply.serialize());
+}
+
+std::vector<WorkerLaunchSpec> ApplicationMaster::scale_out(
+    const std::vector<topo::GpuId>& gpus) {
+  require(idle(), "AM: adjustment already pending");
+  require(!gpus.empty(), "scale_out: no GPUs");
+  plan_ = AdjustmentPlan{};
+  plan_.version = next_version_++;
+  plan_.type = AdjustmentType::kScaleOut;
+  std::vector<WorkerLaunchSpec> specs;
+  for (auto gpu : gpus) {
+    const int id = next_worker_id_++;
+    plan_.join.emplace(id, gpu);
+    pending_reports_.insert(id);
+    specs.push_back({id, gpu});
+  }
+  phase_ = AmPhase::kWaitingReady;
+  persist();
+  return specs;
+}
+
+void ApplicationMaster::scale_in(const std::vector<int>& victims) {
+  require(idle(), "AM: adjustment already pending");
+  require(!victims.empty(), "scale_in: no victims");
+  require(victims.size() < workers_.size(), "scale_in: cannot remove all workers");
+  for (int v : victims) {
+    require(workers_.count(v) > 0, "scale_in: unknown worker " + std::to_string(v));
+  }
+  plan_ = AdjustmentPlan{};
+  plan_.version = next_version_++;
+  plan_.type = AdjustmentType::kScaleIn;
+  plan_.leave = victims;
+  // No new workers to wait for: ready immediately.
+  phase_ = AmPhase::kReady;
+  persist();
+}
+
+std::vector<WorkerLaunchSpec> ApplicationMaster::migrate(
+    const std::vector<int>& victims, const std::vector<topo::GpuId>& target_gpus) {
+  require(idle(), "AM: adjustment already pending");
+  require(!victims.empty() && victims.size() == target_gpus.size(),
+          "migrate: victims/targets mismatch");
+  for (int v : victims) {
+    require(workers_.count(v) > 0, "migrate: unknown worker " + std::to_string(v));
+  }
+  plan_ = AdjustmentPlan{};
+  plan_.version = next_version_++;
+  plan_.type = AdjustmentType::kMigrate;
+  plan_.leave = victims;
+  std::vector<WorkerLaunchSpec> specs;
+  for (auto gpu : target_gpus) {
+    const int id = next_worker_id_++;
+    plan_.join.emplace(id, gpu);
+    pending_reports_.insert(id);
+    specs.push_back({id, gpu});
+  }
+  phase_ = AmPhase::kWaitingReady;
+  persist();
+  return specs;
+}
+
+void ApplicationMaster::on_report(const ReportMsg& msg) {
+  ++reports_received_;
+  if (phase_ != AmPhase::kWaitingReady) {
+    // Duplicate or stale report (e.g. resent after an AM restart): ignore.
+    return;
+  }
+  pending_reports_.erase(msg.worker);
+  if (pending_reports_.empty()) {
+    phase_ = AmPhase::kReady;
+    log_debug() << name_ << ": all new workers reported, plan v" << plan_.version
+                << " ready";
+  }
+  persist();
+}
+
+void ApplicationMaster::on_coordinate(const CoordinateMsg& msg, const std::string& reply_to) {
+  ++coordinations_;
+  DecisionMsg decision;
+  decision.iteration = msg.iteration;
+  // Instruct the adjustment only when every joining worker is ready; workers
+  // that coordinate earlier simply proceed with training (asynchronous
+  // coordination, §V-B).
+  if (phase_ == AmPhase::kReady || phase_ == AmPhase::kAdjusting) {
+    decision.adjust = true;
+    decision.plan = plan_;
+    if (phase_ == AmPhase::kReady) {
+      phase_ = AmPhase::kAdjusting;
+      persist();
+    }
+  }
+  endpoint_->send(reply_to, "decision", decision.serialize());
+}
+
+void ApplicationMaster::on_adjustment_complete() {
+  require(phase_ == AmPhase::kAdjusting, "AM: no adjustment in flight");
+  for (const auto& [id, gpu] : plan_.join) workers_.emplace(id, gpu);
+  for (int v : plan_.leave) workers_.erase(v);
+  plan_ = AdjustmentPlan{};
+  plan_.version = 0;
+  phase_ = AmPhase::kSteady;
+  persist();
+}
+
+void ApplicationMaster::remove_failed(int worker) {
+  workers_.erase(worker);
+  persist();
+}
+
+void ApplicationMaster::persist() {
+  BinaryWriter w;
+  w.write(static_cast<std::uint8_t>(phase_));
+  w.write(next_worker_id_);
+  w.write(next_version_);
+  w.write<std::uint64_t>(workers_.size());
+  for (const auto& [id, gpu] : workers_) {
+    w.write(id);
+    w.write(gpu);
+  }
+  const auto plan_bytes = plan_.serialize();
+  w.write_bytes(plan_bytes);
+  w.write<std::uint64_t>(pending_reports_.size());
+  for (int id : pending_reports_) w.write(id);
+  kv_.put(kv_key(), w.take());
+}
+
+void ApplicationMaster::restore_from_bytes(std::span<const std::uint8_t> data) {
+  BinaryReader r(data);
+  phase_ = static_cast<AmPhase>(r.read<std::uint8_t>());
+  next_worker_id_ = r.read<int>();
+  next_version_ = r.read<std::uint64_t>();
+  const auto nw = r.read<std::uint64_t>();
+  workers_.clear();
+  for (std::uint64_t i = 0; i < nw; ++i) {
+    const int id = r.read<int>();
+    const auto gpu = r.read<topo::GpuId>();
+    workers_.emplace(id, gpu);
+  }
+  const auto plan_bytes = r.read_bytes();
+  BinaryReader pr(plan_bytes);
+  plan_ = AdjustmentPlan::deserialize(pr);
+  pending_reports_.clear();
+  const auto np = r.read<std::uint64_t>();
+  for (std::uint64_t i = 0; i < np; ++i) pending_reports_.insert(r.read<int>());
+}
+
+std::unique_ptr<ApplicationMaster> ApplicationMaster::recover(transport::MessageBus& bus,
+                                                              transport::KvStore& kv,
+                                                              const std::string& job_id) {
+  auto data = kv.get_now("elan/am/" + job_id);
+  if (!data) throw NotFound("persisted AM state for job " + job_id);
+  // Note: cannot use make_unique with a private constructor.
+  std::unique_ptr<ApplicationMaster> am(new ApplicationMaster(bus, kv, job_id));
+  am->restore_from_bytes(*data);
+  return am;
+}
+
+void ApplicationMaster::crash() { endpoint_->shutdown(); }
+
+}  // namespace elan

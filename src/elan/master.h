@@ -1,0 +1,127 @@
+// Application master (paper §II, §V).
+//
+// One AM is attached to each job. It offers the resource-adjustment service
+// to the scheduler (Table III: ScaleOut / ScaleIn / Migrate), collects
+// readiness reports from asynchronously starting new workers, and answers the
+// periodic Coordinate calls from existing workers — instructing an adjustment
+// only once every joining worker has reported, so start/initialisation stays
+// off the training critical path (§V-B).
+//
+// Fault tolerance (§V-D): the AM is a state machine persisted to the KV store
+// after every transition; `recover` rebuilds an equivalent AM after a crash.
+// Message loss is handled by the ReliableEndpoint layer underneath.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "elan/messages.h"
+#include "transport/bus.h"
+#include "transport/kv_store.h"
+
+namespace elan {
+
+enum class AmPhase {
+  kSteady = 0,       // no pending adjustment
+  kWaitingReady = 1, // adjustment requested; waiting for new workers' reports
+  kReady = 2,        // all reports in; instruct at the next coordination
+  kAdjusting = 3,    // adjustment instructed; waiting for completion
+};
+
+const char* to_string(AmPhase phase);
+
+struct WorkerLaunchSpec {
+  int worker = -1;
+  topo::GpuId gpu = -1;
+};
+
+class ApplicationMaster {
+ public:
+  ApplicationMaster(transport::MessageBus& bus, transport::KvStore& kv, std::string job_id,
+                    std::vector<WorkerLaunchSpec> initial_workers);
+
+  const std::string& name() const { return name_; }
+  const std::string& job_id() const { return job_id_; }
+  AmPhase phase() const { return phase_; }
+  std::uint64_t plan_version() const { return plan_.version; }
+  const AdjustmentPlan& plan() const { return plan_; }
+
+  /// Current worker membership as known to the AM (worker -> GPU).
+  const std::map<int, topo::GpuId>& workers() const { return workers_; }
+
+  // --- Service API offered to the scheduler (Table III) -------------------
+
+  /// Requests adding workers on the given GPUs. Returns the launch specs the
+  /// scheduler must start (step 1 in Fig 2). Fails if an adjustment is
+  /// already pending.
+  std::vector<WorkerLaunchSpec> scale_out(const std::vector<topo::GpuId>& gpus);
+
+  /// Requests removing the given workers.
+  void scale_in(const std::vector<int>& victims);
+
+  /// Requests moving the given workers to new GPUs. Implemented as joining
+  /// replacements and removing the originals. Returns the launch specs.
+  std::vector<WorkerLaunchSpec> migrate(const std::vector<int>& victims,
+                                        const std::vector<topo::GpuId>& target_gpus);
+
+  /// True when a request can be accepted.
+  bool idle() const { return phase_ == AmPhase::kSteady; }
+
+  // --- Completion signal from the job runtime ------------------------------
+
+  /// Called by the job once replication/repartition/reconstruction finished.
+  void on_adjustment_complete();
+
+  /// Removes a fail-stopped worker from the membership (worker fault
+  /// tolerance: the job detected a dead replica at an iteration boundary).
+  /// Permitted in any phase; a pending plan that references the worker as a
+  /// victim keeps working (removing it twice is a no-op).
+  void remove_failed(int worker);
+
+  // --- Fault tolerance ------------------------------------------------------
+
+  /// Rebuilds an AM from the state machine persisted in the KV store.
+  static std::unique_ptr<ApplicationMaster> recover(transport::MessageBus& bus,
+                                                    transport::KvStore& kv,
+                                                    const std::string& job_id);
+
+  /// Detaches from the bus (crash simulation).
+  void crash();
+
+  std::uint64_t reports_received() const { return reports_received_; }
+  std::uint64_t coordinations() const { return coordinations_; }
+
+ private:
+  ApplicationMaster(transport::MessageBus& bus, transport::KvStore& kv, std::string job_id);
+
+  transport::MessageBus& bus_;
+  transport::KvStore& kv_;
+  std::string job_id_;
+  std::string name_;
+  std::unique_ptr<transport::ReliableEndpoint> endpoint_;
+
+  AmPhase phase_ = AmPhase::kSteady;
+  std::map<int, topo::GpuId> workers_;
+  AdjustmentPlan plan_;
+  std::set<int> pending_reports_;  // joining workers that have not reported yet
+  int next_worker_id_ = 0;
+  std::uint64_t next_version_ = 1;
+  std::uint64_t reports_received_ = 0;
+  std::uint64_t coordinations_ = 0;
+
+  void attach_endpoint();
+  void handle(const transport::Message& msg);
+  void on_report(const ReportMsg& msg);
+  void on_coordinate(const CoordinateMsg& msg, const std::string& reply_to);
+  void on_adjust_request(const AdjustRequestMsg& msg, const std::string& reply_to);
+  void persist();
+  void restore_from_bytes(std::span<const std::uint8_t> data);
+  std::string kv_key() const { return "elan/am/" + job_id_; }
+};
+
+}  // namespace elan

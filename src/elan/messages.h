@@ -1,0 +1,92 @@
+// Control-plane message payloads (AM <-> workers).
+//
+// Serialised with the library's binary writer; both ends live in one process,
+// but payloads still round-trip through bytes so the protocol stays honest
+// (and message sizes drive control-network latency).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/serialize.h"
+#include "topology/topology.h"
+
+namespace elan {
+
+/// Types of resource adjustments (Table III service API).
+enum class AdjustmentType { kScaleOut, kScaleIn, kMigrate };
+
+const char* to_string(AdjustmentType type);
+
+/// A pending resource adjustment tracked by the AM.
+struct AdjustmentPlan {
+  std::uint64_t version = 0;
+  AdjustmentType type = AdjustmentType::kScaleOut;
+  /// New workers to join: worker id -> GPU.
+  std::map<int, topo::GpuId> join;
+  /// Existing workers to remove.
+  std::vector<int> leave;
+
+  std::vector<std::uint8_t> serialize() const;
+  static AdjustmentPlan deserialize(BinaryReader& reader);
+
+  bool operator==(const AdjustmentPlan&) const = default;
+};
+
+/// Worker -> AM: "I started, initialised, and can join the training."
+struct ReportMsg {
+  int worker = -1;
+  topo::GpuId gpu = -1;
+
+  std::vector<std::uint8_t> serialize() const;
+  static ReportMsg deserialize(std::span<const std::uint8_t> data);
+};
+
+/// Worker -> AM at coordination intervals.
+struct CoordinateMsg {
+  int worker = -1;
+  std::uint64_t iteration = 0;
+
+  std::vector<std::uint8_t> serialize() const;
+  static CoordinateMsg deserialize(std::span<const std::uint8_t> data);
+};
+
+/// AM -> worker: coordination decision. When `adjust` is set the payload
+/// carries the full plan so workers act on a consistent view.
+struct DecisionMsg {
+  bool adjust = false;
+  std::uint64_t iteration = 0;  // echo of the coordination iteration
+  AdjustmentPlan plan;          // meaningful only when adjust == true
+
+  std::vector<std::uint8_t> serialize() const;
+  static DecisionMsg deserialize(std::span<const std::uint8_t> data);
+};
+
+/// Scheduler -> AM: resource-adjustment request (the Table III service call,
+/// step 1 of Fig 2), carried over the control network like everything else.
+struct AdjustRequestMsg {
+  std::uint64_t request_id = 0;  // correlates the reply
+  AdjustmentType type = AdjustmentType::kScaleOut;
+  std::vector<topo::GpuId> gpus;  // scale-out targets / migration targets
+  std::vector<int> victims;       // scale-in / migration victims
+
+  std::vector<std::uint8_t> serialize() const;
+  static AdjustRequestMsg deserialize(std::span<const std::uint8_t> data);
+};
+
+/// AM -> scheduler: service reply. On success carries the launch specs the
+/// scheduler must start (empty for scale-in).
+struct AdjustReplyMsg {
+  std::uint64_t request_id = 0;
+  bool ok = false;
+  std::string error;
+  std::vector<std::pair<int, topo::GpuId>> launch;  // worker id -> GPU
+
+  std::vector<std::uint8_t> serialize() const;
+  static AdjustReplyMsg deserialize(std::span<const std::uint8_t> data);
+};
+
+}  // namespace elan

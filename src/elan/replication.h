@@ -1,0 +1,90 @@
+// Concurrent IO-free state replication (paper §IV).
+//
+// Given the topology, the set of existing workers and the set of new workers,
+// the planner:
+//   1. assigns each new worker the *nearest* existing worker as its source
+//      (P2P > SHM > NET), exploiting that every existing worker holds an
+//      identical copy of the state (data parallelism);
+//   2. spreads load: among equally-near sources, prefers the one serving the
+//      fewest destinations;
+//   3. runs replications concurrently, except where they contend on a shared
+//      physical resource (e.g. two transfers both crossing one node's QPI
+//      link), which are serialised (§IV-3);
+//   4. overlaps the small CPU-state transfer (over the control network) with
+//      the large GPU-state transfer, so the pair costs max(gpu, cpu).
+//
+// The plan is pure data: callers execute it (moving real blob bytes) and/or
+// price it. No filesystem IO and no CPU-GPU copies appear anywhere — that is
+// the "IO-free" property the benches contrast with checkpoint-based S&R.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/units.h"
+#include "topology/bandwidth.h"
+#include "topology/topology.h"
+
+namespace elan {
+
+struct ReplicationTransfer {
+  int source_worker = -1;
+  int dest_worker = -1;
+  topo::GpuId source_gpu = -1;
+  topo::GpuId dest_gpu = -1;
+  topo::LinkLevel level = topo::LinkLevel::kL1;
+  Seconds gpu_transfer_time = 0;  // parameters + optimizer over the GPU link
+  Seconds cpu_transfer_time = 0;  // loader/runtime state over the control net
+  Seconds start = 0;              // scheduled start (contention-adjusted)
+  Seconds duration() const { return std::max(gpu_transfer_time, cpu_transfer_time); }
+  Seconds finish() const { return start + duration(); }
+};
+
+struct ReplicationPlan {
+  std::vector<ReplicationTransfer> transfers;
+  /// Makespan of the contention-aware schedule — the replication step's
+  /// contribution to adjustment latency.
+  Seconds total_time = 0;
+  /// Sum of all per-transfer durations (what a serial executor would pay);
+  /// total_time / serial_time measures the concurrency win.
+  Seconds serial_time = 0;
+};
+
+struct ReplicationRequest {
+  /// worker id -> GPU for workers that already hold the state.
+  std::map<int, topo::GpuId> existing;
+  /// worker id -> GPU for workers that need the state.
+  std::map<int, topo::GpuId> joining;
+  Bytes gpu_state_bytes = 0;
+  Bytes cpu_state_bytes = 0;
+};
+
+/// Planner strategies. kElan is the paper's design; the others are ablation
+/// baselines quantifying what each ingredient buys (bench/ablation_replication).
+enum class ReplicationStrategy {
+  kElan,           // topology-aware sources + concurrent contention-aware schedule
+  kNearestSerial,  // topology-aware sources, but one transfer at a time
+  kSingleSource,   // all state from one worker (PS/checkpoint-like), serialised
+  kBlindSources,   // round-robin sources ignoring topology, concurrent schedule
+};
+
+const char* to_string(ReplicationStrategy strategy);
+
+class ReplicationPlanner {
+ public:
+  ReplicationPlanner(const topo::Topology& topology, const topo::BandwidthModel& bandwidth,
+                     ReplicationStrategy strategy = ReplicationStrategy::kElan)
+      : topology_(&topology), bandwidth_(&bandwidth), strategy_(strategy) {}
+
+  ReplicationStrategy strategy() const { return strategy_; }
+
+  ReplicationPlan plan(const ReplicationRequest& request) const;
+
+ private:
+  const topo::Topology* topology_;
+  const topo::BandwidthModel* bandwidth_;
+  ReplicationStrategy strategy_;
+};
+
+}  // namespace elan

@@ -1,0 +1,120 @@
+#include "elan/worker.h"
+
+#include <utility>
+
+#include "common/error.h"
+#include "common/log.h"
+#include "common/serialize.h"
+
+namespace elan {
+
+const char* to_string(WorkerState state) {
+  switch (state) {
+    case WorkerState::kLaunching: return "launching";
+    case WorkerState::kInitializing: return "initializing";
+    case WorkerState::kReady: return "ready";
+    case WorkerState::kTraining: return "training";
+    case WorkerState::kStopped: return "stopped";
+  }
+  return "?";
+}
+
+WorkerProcess::WorkerProcess(sim::Simulator& simulator, transport::MessageBus& bus,
+                             const std::string& job_id, int id, topo::GpuId gpu,
+                             const train::ModelSpec& model, train::EngineKind engine_kind,
+                             WorkerParams params, Rng rng, bool already_running,
+                             EngineFactory engine_factory)
+    : sim_(simulator),
+      job_id_(job_id),
+      name_("w" + std::to_string(id) + "/" + job_id),
+      am_name_("am/" + job_id),
+      id_(id),
+      gpu_(gpu),
+      state_(already_running ? WorkerState::kTraining : WorkerState::kLaunching),
+      params_(params),
+      rng_(rng),
+      engine_(engine_factory ? engine_factory() : train::make_engine(model, engine_kind)) {
+  ensure(engine_ != nullptr, "worker: engine factory returned null");
+  register_builtin_hooks();
+  endpoint_ = std::make_unique<transport::ReliableEndpoint>(
+      bus, name_, [this](const transport::Message& msg) { handle(msg); });
+}
+
+WorkerProcess::~WorkerProcess() = default;
+
+void WorkerProcess::register_builtin_hooks() {
+  // The engine exposes its framework-specific state (Table II: model and
+  // optimizer, GPU-resident).
+  engine_->register_state_hooks(hooks_);
+  // Runtime info (iteration counter etc.) lives in CPU memory.
+  hooks_.register_hook(StateHook{
+      "runtime", StateLocation::kCpu, params_.runtime_state_bytes,
+      [this] {
+        BinaryWriter w;
+        w.write(engine_->iteration());
+        return Blob("runtime", w.take());
+      },
+      [this](const Blob& b) {
+        BinaryReader r(b.bytes());
+        engine_->set_iteration(r.read<std::uint64_t>());
+      }});
+  // The data-loader hook is registered by the job, which owns the sampler.
+}
+
+void WorkerProcess::launch(std::function<void()> on_ready) {
+  require(state_ == WorkerState::kLaunching, "launch: worker not in Launching state");
+  measured_start_ =
+      rng_.truncated_normal(params_.start_mean, params_.start_stddev,
+                            params_.start_mean * 0.5, params_.start_mean * 2.0);
+  sim_.schedule(measured_start_, [this, on_ready = std::move(on_ready)]() mutable {
+    state_ = WorkerState::kInitializing;
+    measured_init_ = engine_->initialization_time();
+    sim_.schedule(measured_init_, [this, on_ready = std::move(on_ready)]() {
+      state_ = WorkerState::kReady;
+      ReportMsg report;
+      report.worker = id_;
+      report.gpu = gpu_;
+      endpoint_->send(am_name_, "report", report.serialize());
+      log_debug() << name_ << ": ready, reported to AM";
+      if (on_ready) on_ready();
+    });
+  });
+}
+
+void WorkerProcess::coordinate(std::uint64_t iteration,
+                               std::function<void(const DecisionMsg&)> on_decision) {
+  require(state_ == WorkerState::kTraining || state_ == WorkerState::kReady,
+          "coordinate: worker " + name_ + " not running");
+  require(!pending_decision_, "coordinate: decision already pending on " + name_);
+  pending_decision_ = std::move(on_decision);
+  CoordinateMsg msg;
+  msg.worker = id_;
+  msg.iteration = iteration;
+  endpoint_->send(am_name_, "coordinate", msg.serialize());
+}
+
+void WorkerProcess::handle(const transport::Message& msg) {
+  if (msg.type == "decision") {
+    if (!pending_decision_) {
+      log_trace() << name_ << ": decision with no pending coordination (duplicate)";
+      return;
+    }
+    auto cb = std::exchange(pending_decision_, nullptr);
+    cb(DecisionMsg::deserialize(msg.payload));
+  } else {
+    log_warn() << name_ << ": unknown message type " << msg.type;
+  }
+}
+
+void WorkerProcess::set_training() {
+  require(state_ == WorkerState::kReady, "set_training: worker not Ready");
+  state_ = WorkerState::kTraining;
+}
+
+void WorkerProcess::shutdown() {
+  state_ = WorkerState::kStopped;
+  pending_decision_ = nullptr;
+  endpoint_->shutdown();
+}
+
+}  // namespace elan

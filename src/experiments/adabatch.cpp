@@ -1,0 +1,106 @@
+#include "experiments/adabatch.h"
+
+#include "common/error.h"
+
+namespace elan::experiments {
+
+Seconds AdaBatchRun::time_to_accuracy(double target) const {
+  for (const auto& p : points) {
+    if (p.accuracy >= target) return p.end_time;
+  }
+  return -1.0;
+}
+
+AdaBatchExperiment::AdaBatchExperiment(const train::ThroughputModel& throughput,
+                                       const baselines::AdjustmentCostModel& costs)
+    : throughput_(&throughput),
+      costs_(&costs),
+      model_(train::resnet50()),
+      convergence_(train::ConvergenceModel::resnet50_imagenet()) {}
+
+AdaBatchRun AdaBatchExperiment::run_schedule(const std::string& name,
+                                             const std::vector<Phase>& phases,
+                                             bool elastic_adjustments) const {
+  require(!phases.empty(), "adabatch: empty schedule");
+
+  // Build the convergence plan: LR follows the linear-scaling reference for
+  // the batch, with the standard x0.1 decays at epochs 30/60 and a ramped
+  // x2 jump wherever the batch doubles.
+  std::vector<train::EpochPlan> plan;
+  std::vector<EpochPoint> points;
+  int epoch = 0;
+  int prev_batch = phases.front().total_batch;
+  for (const auto& phase : phases) {
+    for (int e = 0; e < phase.epochs; ++e, ++epoch) {
+      train::EpochPlan p;
+      p.total_batch = phase.total_batch;
+      const double decay = epoch >= 60 ? 0.01 : (epoch >= 30 ? 0.1 : 1.0);
+      p.lr = 0.1 * phase.total_batch / 256.0 * decay;
+      if (e == 0 && phase.total_batch != prev_batch) {
+        p.lr_jump = static_cast<double>(phase.total_batch) / prev_batch;
+        p.ramped = true;
+        p.ramp_iterations = 100;  // paper: finish the adjustment in 100 iters
+      }
+      plan.push_back(p);
+
+      EpochPoint point;
+      point.epoch = epoch;
+      point.workers = phase.workers;
+      point.total_batch = phase.total_batch;
+      point.lr = p.lr;
+      points.push_back(point);
+    }
+    prev_batch = phase.total_batch;
+  }
+
+  const auto conv = convergence_.simulate(plan);
+
+  AdaBatchRun run;
+  run.name = name;
+  run.diverged = conv.diverged;
+  const double samples = static_cast<double>(model_.dataset.num_samples);
+  Seconds clock = 0;
+  int prev_workers = phases.front().workers;
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    auto point = points[i];
+    const double overhead = costs_->runtime_overhead(
+        baselines::System::kElan, model_, point.workers, point.total_batch);
+    const double tput =
+        throughput_->throughput(model_, point.workers, point.total_batch) *
+        (1.0 - overhead);
+    point.epoch_time = samples / tput;
+    if (elastic_adjustments && point.workers != prev_workers) {
+      // The new workers start asynchronously while the previous epoch's
+      // tail still trains; only the Elan pause lands on the critical path.
+      point.epoch_time += costs_->pause_time(baselines::System::kElan,
+                                             AdjustmentType::kScaleOut, model_,
+                                             prev_workers, point.workers);
+    }
+    prev_workers = point.workers;
+    clock += point.epoch_time;
+    point.end_time = clock;
+    point.accuracy = conv.accuracy[i];
+    run.points.push_back(point);
+  }
+  return run;
+}
+
+AdaBatchRun AdaBatchExperiment::run_static() const {
+  return run_schedule("512 (16)", {{90, 512, 16}}, false);
+}
+
+AdaBatchRun AdaBatchExperiment::run_elastic() const {
+  return run_schedule("512-2048 (Elastic)",
+                      {{30, 512, 16}, {30, 1024, 32}, {30, 2048, 64}}, true);
+}
+
+AdaBatchRun AdaBatchExperiment::run_fixed64() const {
+  return run_schedule("512-2048 (64)",
+                      {{30, 512, 64}, {30, 1024, 64}, {30, 2048, 64}}, false);
+}
+
+std::vector<AdaBatchRun> AdaBatchExperiment::run_all() const {
+  return {run_static(), run_elastic(), run_fixed64()};
+}
+
+}  // namespace elan::experiments

@@ -1,0 +1,84 @@
+// The elastic-training experiment of paper §VI-B.
+//
+// AdaBatch-style training of ResNet-50 on ImageNet: start with a total batch
+// of 512, double it every 30 epochs, finish after 90. Three configurations:
+//
+//   "512 (16)"           — static: TBS 512 on 16 workers for 90 epochs
+//                          (accuracy and static-training baseline).
+//   "512-2048 (Elastic)" — dynamic batch with Elan elasticity: 16 workers ->
+//                          32 at epoch 30 -> 64 at epoch 60, following the
+//                          strong-scaling optima (Fig 17); the LR doubles
+//                          with the batch and ramps over 100 iterations.
+//   "512-2048 (64)"      — dynamic batch on *fixed* 64 workers, showing that
+//                          elastic algorithms need resource elasticity.
+//
+// The driver combines the throughput model (epoch durations, adjustment
+// pauses from the cost model) and the convergence model (top-1 accuracy) to
+// produce the time/accuracy trajectories behind Fig 18, Fig 19 and Table IV.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "baselines/adjustment_cost.h"
+#include "train/convergence.h"
+#include "train/throughput.h"
+
+namespace elan::experiments {
+
+struct EpochPoint {
+  int epoch = 0;
+  int workers = 0;
+  int total_batch = 0;
+  double lr = 0;
+  Seconds epoch_time = 0;   // duration of this epoch (incl. adjustment costs)
+  Seconds end_time = 0;     // cumulative wall time at epoch end
+  double accuracy = 0;      // top-1 at epoch end
+};
+
+struct AdaBatchRun {
+  std::string name;
+  std::vector<EpochPoint> points;
+  bool diverged = false;
+
+  double final_accuracy() const { return points.back().accuracy; }
+  Seconds total_time() const { return points.back().end_time; }
+
+  /// First wall-clock time at which the end-of-epoch accuracy reaches
+  /// `target`; negative if never reached.
+  Seconds time_to_accuracy(double target) const;
+};
+
+class AdaBatchExperiment {
+ public:
+  AdaBatchExperiment(const train::ThroughputModel& throughput,
+                     const baselines::AdjustmentCostModel& costs);
+
+  /// Static reference: TBS 512 on 16 workers.
+  AdaBatchRun run_static() const;
+
+  /// Elastic: batch doubles at epochs 30/60, workers follow the Fig 17
+  /// optima via Elan (adjustment pauses included).
+  AdaBatchRun run_elastic() const;
+
+  /// Dynamic batch on fixed 64 workers.
+  AdaBatchRun run_fixed64() const;
+
+  std::vector<AdaBatchRun> run_all() const;
+
+ private:
+  const train::ThroughputModel* throughput_;
+  const baselines::AdjustmentCostModel* costs_;
+  train::ModelSpec model_;
+  train::ConvergenceModel convergence_;
+
+  struct Phase {
+    int epochs;
+    int total_batch;
+    int workers;
+  };
+  AdaBatchRun run_schedule(const std::string& name, const std::vector<Phase>& phases,
+                           bool elastic_adjustments) const;
+};
+
+}  // namespace elan::experiments

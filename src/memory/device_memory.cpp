@@ -1,0 +1,63 @@
+#include "memory/device_memory.h"
+
+#include <algorithm>
+
+#include "train/models.h"
+
+namespace elan::memory {
+
+AllocationId DeviceMemory::allocate(const std::string& name, Bytes bytes) {
+  if (!fits(bytes)) throw OutOfMemory(name, bytes, available());
+  const AllocationId id = next_id_++;
+  live_.emplace(id, Allocation{id, name, bytes});
+  used_ += bytes;
+  return id;
+}
+
+void DeviceMemory::free(AllocationId id) {
+  auto it = live_.find(id);
+  if (it == live_.end()) throw NotFound("allocation " + std::to_string(id));
+  used_ -= it->second.bytes;
+  live_.erase(it);
+}
+
+std::vector<DeviceMemory::Allocation> DeviceMemory::allocations() const {
+  std::vector<Allocation> out;
+  out.reserve(live_.size());
+  for (const auto& [id, a] : live_) out.push_back(a);
+  return out;
+}
+
+MemoryPool::MemoryPool(const topo::Topology& topology, Bytes capacity_per_gpu) {
+  devices_.reserve(static_cast<std::size_t>(topology.total_gpus()));
+  for (int g = 0; g < topology.total_gpus(); ++g) devices_.emplace_back(capacity_per_gpu);
+}
+
+DeviceMemory& MemoryPool::device(topo::GpuId gpu) {
+  require(gpu >= 0 && gpu < static_cast<int>(devices_.size()), "MemoryPool: bad GPU");
+  return devices_[static_cast<std::size_t>(gpu)];
+}
+
+const DeviceMemory& MemoryPool::device(topo::GpuId gpu) const {
+  require(gpu >= 0 && gpu < static_cast<int>(devices_.size()), "MemoryPool: bad GPU");
+  return devices_[static_cast<std::size_t>(gpu)];
+}
+
+Bytes MemoryPool::total_used() const {
+  Bytes total = 0;
+  for (const auto& d : devices_) total += d.used();
+  return total;
+}
+
+Bytes worker_footprint(const train::ModelSpec& model, int per_gpu_batch) {
+  require(per_gpu_batch > 0, "worker_footprint: non-positive batch");
+  return model.gpu_state_bytes() + model.workspace_bytes(per_gpu_batch);
+}
+
+int max_fitting_batch(const train::ModelSpec& model, Bytes capacity) {
+  int batch = 0;
+  while (worker_footprint(model, batch + 1) <= capacity) ++batch;
+  return batch;
+}
+
+}  // namespace elan::memory

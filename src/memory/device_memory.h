@@ -1,0 +1,85 @@
+// Simulated GPU device memory.
+//
+// Tracks named allocations against a fixed capacity (11 GiB, GeForce
+// 1080Ti). This grounds several numbers the rest of the system relies on:
+// the per-GPU batch limits in the model zoo (parameters + optimizer +
+// activations must fit), the min_res rule of the elastic scheduler ("the
+// model can fit in GPU memory with min_res workers"), and the Litz
+// context-switch volumes (a context is exactly what this module says a
+// worker has resident).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/error.h"
+#include "common/units.h"
+#include "topology/topology.h"
+#include "train/models.h"
+
+namespace elan::memory {
+
+/// Allocation failed: the device is out of memory.
+class OutOfMemory : public Error {
+ public:
+  OutOfMemory(const std::string& what, Bytes requested, Bytes available)
+      : Error("out of GPU memory: " + what + " (requested " + format_bytes(requested) +
+              ", available " + format_bytes(available) + ")") {}
+};
+
+using AllocationId = std::uint64_t;
+
+class DeviceMemory {
+ public:
+  explicit DeviceMemory(Bytes capacity = 11_GiB) : capacity_(capacity) {}
+
+  Bytes capacity() const { return capacity_; }
+  Bytes used() const { return used_; }
+  Bytes available() const { return capacity_ - used_; }
+
+  /// Allocates `bytes` under `name`; throws OutOfMemory when it cannot fit.
+  AllocationId allocate(const std::string& name, Bytes bytes);
+
+  /// Frees a previous allocation; unknown ids throw NotFound.
+  void free(AllocationId id);
+
+  /// True if `bytes` more would fit right now.
+  bool fits(Bytes bytes) const { return bytes <= available(); }
+
+  struct Allocation {
+    AllocationId id;
+    std::string name;
+    Bytes bytes;
+  };
+  std::vector<Allocation> allocations() const;
+
+ private:
+  Bytes capacity_;
+  Bytes used_ = 0;
+  AllocationId next_id_ = 1;
+  std::map<AllocationId, Allocation> live_;
+};
+
+/// One DeviceMemory per GPU of a topology.
+class MemoryPool {
+ public:
+  explicit MemoryPool(const topo::Topology& topology, Bytes capacity_per_gpu = 11_GiB);
+
+  DeviceMemory& device(topo::GpuId gpu);
+  const DeviceMemory& device(topo::GpuId gpu) const;
+  Bytes total_used() const;
+
+ private:
+  std::vector<DeviceMemory> devices_;
+};
+
+/// The resident footprint of one training worker: parameters + optimizer
+/// state + activations/workspace for the given per-GPU batch.
+Bytes worker_footprint(const train::ModelSpec& model, int per_gpu_batch);
+
+/// The largest per-GPU batch whose footprint fits in `capacity`.
+int max_fitting_batch(const train::ModelSpec& model, Bytes capacity = 11_GiB);
+
+}  // namespace elan::memory

@@ -1,0 +1,72 @@
+#include "minidl/dataset.h"
+
+#include <cmath>
+
+#include "common/rng.h"
+
+namespace elan::minidl {
+
+LabeledData LabeledData::slice(int begin, int end) const {
+  require(begin >= 0 && begin < end && end <= size(), "slice: bad range");
+  LabeledData out;
+  out.features = Tensor(end - begin, features.cols());
+  out.labels.reserve(static_cast<std::size_t>(end - begin));
+  for (int i = begin; i < end; ++i) {
+    for (int j = 0; j < features.cols(); ++j) {
+      out.features.at(i - begin, j) = features.at(i, j);
+    }
+    out.labels.push_back(labels[static_cast<std::size_t>(i)]);
+  }
+  return out;
+}
+
+LabeledData make_spirals(int samples_per_class, int classes, std::uint64_t seed,
+                         double noise) {
+  require(samples_per_class > 0 && classes > 1, "make_spirals: bad arguments");
+  Rng rng(seed);
+  const int n = samples_per_class * classes;
+  LabeledData data;
+  data.features = Tensor(n, 2);
+  data.labels.resize(static_cast<std::size_t>(n));
+
+  // Generate class-interleaved so any contiguous slice is label-balanced
+  // (matches the serial loading of a pre-shuffled dataset).
+  int row = 0;
+  for (int i = 0; i < samples_per_class; ++i) {
+    for (int c = 0; c < classes; ++c, ++row) {
+      const double t = static_cast<double>(i) / samples_per_class;
+      const double radius = 0.1 + 0.9 * t;
+      const double angle =
+          2.0 * 3.14159265358979 * (t * 1.5 + static_cast<double>(c) / classes) +
+          rng.normal(0.0, noise);
+      data.features.at(row, 0) = static_cast<float>(radius * std::cos(angle));
+      data.features.at(row, 1) = static_cast<float>(radius * std::sin(angle));
+      data.labels[static_cast<std::size_t>(row)] = c;
+    }
+  }
+  return data;
+}
+
+LabeledData make_blobs(int samples_per_class, int classes, std::uint64_t seed,
+                       double spread) {
+  require(samples_per_class > 0 && classes > 1, "make_blobs: bad arguments");
+  Rng rng(seed);
+  const int n = samples_per_class * classes;
+  LabeledData data;
+  data.features = Tensor(n, 2);
+  data.labels.resize(static_cast<std::size_t>(n));
+  int row = 0;
+  for (int i = 0; i < samples_per_class; ++i) {
+    for (int c = 0; c < classes; ++c, ++row) {
+      const double angle = 2.0 * 3.14159265358979 * c / classes;
+      data.features.at(row, 0) =
+          static_cast<float>(2.0 * std::cos(angle) + rng.normal(0.0, spread));
+      data.features.at(row, 1) =
+          static_cast<float>(2.0 * std::sin(angle) + rng.normal(0.0, spread));
+      data.labels[static_cast<std::size_t>(row)] = c;
+    }
+  }
+  return data;
+}
+
+}  // namespace elan::minidl

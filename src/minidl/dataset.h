@@ -1,0 +1,34 @@
+// Synthetic classification datasets for minidl.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "minidl/tensor.h"
+
+namespace elan::minidl {
+
+struct LabeledData {
+  Tensor features;          // n x d
+  std::vector<int> labels;  // n
+
+  int size() const { return features.rows(); }
+
+  /// Contiguous row slice [begin, end) — how the serial sampler's global
+  /// cursor maps onto minidl batches.
+  LabeledData slice(int begin, int end) const;
+};
+
+/// Two-dimensional spiral classification: `classes` interleaved spiral arms
+/// with Gaussian noise. Non-linearly separable, so the MLP's hidden layers
+/// genuinely matter.
+LabeledData make_spirals(int samples_per_class, int classes, std::uint64_t seed,
+                         double noise = 0.15);
+
+/// Well-separated Gaussian blobs (one per class, centres on a circle):
+/// linearly separable, so even a zero-hidden-layer model ({d, classes})
+/// reaches ~100% — the sanity anchor for the optimizer and loss.
+LabeledData make_blobs(int samples_per_class, int classes, std::uint64_t seed,
+                       double spread = 0.2);
+
+}  // namespace elan::minidl

@@ -1,0 +1,149 @@
+#include "minidl/mlp.h"
+
+#include "common/serialize.h"
+
+namespace elan::minidl {
+
+Mlp::Mlp(std::vector<int> layer_sizes, std::uint64_t seed)
+    : layer_sizes_(std::move(layer_sizes)) {
+  require(layer_sizes_.size() >= 2, "Mlp: need at least input and output sizes");
+  for (std::size_t l = 0; l + 1 < layer_sizes_.size(); ++l) {
+    DenseLayer layer;
+    layer.weights = Tensor(layer_sizes_[l], layer_sizes_[l + 1]);
+    layer.bias = Tensor(1, layer_sizes_[l + 1]);
+    layer.weights.init_glorot(seed + l * 1000003);
+    layer.grad_weights = Tensor(layer_sizes_[l], layer_sizes_[l + 1]);
+    layer.grad_bias = Tensor(1, layer_sizes_[l + 1]);
+    layers_.push_back(std::move(layer));
+    velocity_w_.emplace_back(layer_sizes_[l], layer_sizes_[l + 1]);
+    velocity_b_.emplace_back(1, layer_sizes_[l + 1]);
+  }
+}
+
+std::size_t Mlp::parameter_count() const {
+  std::size_t n = 0;
+  for (const auto& l : layers_) n += l.weights.size() + l.bias.size();
+  return n;
+}
+
+Tensor Mlp::forward(const Tensor& x) {
+  Tensor h = x;
+  for (std::size_t l = 0; l < layers_.size(); ++l) {
+    auto& layer = layers_[l];
+    layer.input = h;
+    Tensor z = matmul(h, layer.weights);
+    add_row_bias(z, layer.bias);
+    layer.pre_activation = z;
+    const bool last = l + 1 == layers_.size();
+    h = last ? z : relu(z);
+  }
+  return h;
+}
+
+void Mlp::backward(const Tensor& grad_logits) {
+  Tensor grad = grad_logits;
+  for (std::size_t li = layers_.size(); li-- > 0;) {
+    auto& layer = layers_[li];
+    const bool last = li + 1 == layers_.size();
+    if (!last) grad = relu_backward(grad, layer.pre_activation);
+    layer.grad_weights = matmul_transpose_a(layer.input, grad);
+    // Bias gradient: column sums.
+    layer.grad_bias = Tensor(1, grad.cols());
+    for (int i = 0; i < grad.rows(); ++i) {
+      for (int j = 0; j < grad.cols(); ++j) layer.grad_bias.at(0, j) += grad.at(i, j);
+    }
+    if (li > 0) grad = matmul_transpose_b(grad, layer.weights);
+  }
+}
+
+float Mlp::loss(const Tensor& x, const std::vector<int>& labels, bool train) {
+  const Tensor logits = forward(x);
+  Tensor grad;
+  const float l = softmax_cross_entropy(logits, labels, train ? &grad : nullptr);
+  if (train) backward(grad);
+  return l;
+}
+
+double Mlp::accuracy(const Tensor& x, const std::vector<int>& labels) {
+  const auto preds = argmax_rows(forward(x));
+  int correct = 0;
+  for (std::size_t i = 0; i < preds.size(); ++i) {
+    if (preds[i] == labels[i]) ++correct;
+  }
+  return static_cast<double>(correct) / static_cast<double>(preds.size());
+}
+
+void Mlp::sgd_step(float lr, float momentum) {
+  for (std::size_t l = 0; l < layers_.size(); ++l) {
+    auto& layer = layers_[l];
+    auto step = [&](Tensor& param, Tensor& grad, Tensor& velocity) {
+      auto v = velocity.data();
+      auto g = grad.data();
+      auto p = param.data();
+      for (std::size_t i = 0; i < p.size(); ++i) {
+        v[i] = momentum * v[i] + g[i];
+        p[i] -= lr * v[i];
+      }
+    };
+    step(layer.weights, layer.grad_weights, velocity_w_[l]);
+    step(layer.bias, layer.grad_bias, velocity_b_[l]);
+  }
+}
+
+std::vector<double> Mlp::flatten_gradients() const {
+  std::vector<double> flat;
+  flat.reserve(parameter_count());
+  for (const auto& l : layers_) {
+    for (float v : l.grad_weights.data()) flat.push_back(v);
+    for (float v : l.grad_bias.data()) flat.push_back(v);
+  }
+  return flat;
+}
+
+void Mlp::load_gradients(const std::vector<double>& flat) {
+  require(flat.size() == parameter_count(), "load_gradients: size mismatch");
+  std::size_t i = 0;
+  for (auto& l : layers_) {
+    for (auto& v : l.grad_weights.data()) v = static_cast<float>(flat[i++]);
+    for (auto& v : l.grad_bias.data()) v = static_cast<float>(flat[i++]);
+  }
+}
+
+Blob Mlp::save_state() const {
+  BinaryWriter w;
+  auto write_tensor = [&w](const Tensor& t) {
+    w.write(t.rows());
+    w.write(t.cols());
+    for (float v : t.data()) w.write(v);
+  };
+  w.write<std::uint64_t>(layers_.size());
+  for (std::size_t l = 0; l < layers_.size(); ++l) {
+    write_tensor(layers_[l].weights);
+    write_tensor(layers_[l].bias);
+    write_tensor(velocity_w_[l]);
+    write_tensor(velocity_b_[l]);
+  }
+  return Blob("minidl_state", w.take());
+}
+
+void Mlp::load_state(const Blob& blob) {
+  BinaryReader r(blob.bytes());
+  auto read_tensor = [&r](Tensor& t) {
+    const int rows = r.read<int>();
+    const int cols = r.read<int>();
+    require(rows == t.rows() && cols == t.cols(), "load_state: shape mismatch");
+    for (auto& v : t.data()) v = r.read<float>();
+  };
+  const auto n = r.read<std::uint64_t>();
+  require(n == layers_.size(), "load_state: layer count mismatch");
+  for (std::size_t l = 0; l < layers_.size(); ++l) {
+    read_tensor(layers_[l].weights);
+    read_tensor(layers_[l].bias);
+    read_tensor(velocity_w_[l]);
+    read_tensor(velocity_b_[l]);
+  }
+}
+
+std::uint64_t Mlp::state_checksum() const { return save_state().checksum(); }
+
+}  // namespace elan::minidl

@@ -1,0 +1,67 @@
+// Multi-layer perceptron with hand-written backward passes.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/blob.h"
+#include "minidl/tensor.h"
+
+namespace elan::minidl {
+
+/// Dense layer: y = relu(x W + b) (ReLU omitted on the output layer).
+struct DenseLayer {
+  Tensor weights;  // in x out
+  Tensor bias;     // 1 x out
+  Tensor grad_weights;
+  Tensor grad_bias;
+  // Forward cache for the backward pass.
+  Tensor input;
+  Tensor pre_activation;
+};
+
+class Mlp {
+ public:
+  /// layer_sizes = {inputs, hidden..., classes}.
+  Mlp(std::vector<int> layer_sizes, std::uint64_t seed);
+
+  int inputs() const { return layer_sizes_.front(); }
+  int classes() const { return layer_sizes_.back(); }
+  std::size_t parameter_count() const;
+
+  /// Forward pass; caches activations for backward.
+  Tensor forward(const Tensor& x);
+
+  /// Backward from the loss gradient wrt logits; fills grad_* on each layer.
+  void backward(const Tensor& grad_logits);
+
+  /// Mean cross-entropy on (x, labels); when `train` also runs backward.
+  float loss(const Tensor& x, const std::vector<int>& labels, bool train);
+
+  /// Classification accuracy on (x, labels).
+  double accuracy(const Tensor& x, const std::vector<int>& labels);
+
+  /// SGD step with momentum over all parameters.
+  void sgd_step(float lr, float momentum = 0.9f);
+
+  /// Gradients flattened into one vector (for allreduce) and back.
+  std::vector<double> flatten_gradients() const;
+  void load_gradients(const std::vector<double>& flat);
+
+  /// Full parameter+momentum state as a byte blob — this is what rides
+  /// through Elan's hooks, checkpoints and replication.
+  Blob save_state() const;
+  void load_state(const Blob& blob);
+  std::uint64_t state_checksum() const;
+
+  const std::vector<DenseLayer>& layers() const { return layers_; }
+  std::vector<DenseLayer>& mutable_layers() { return layers_; }
+
+ private:
+  std::vector<int> layer_sizes_;
+  std::vector<DenseLayer> layers_;
+  std::vector<Tensor> velocity_w_;
+  std::vector<Tensor> velocity_b_;
+};
+
+}  // namespace elan::minidl

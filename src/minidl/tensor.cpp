@@ -1,0 +1,146 @@
+#include "minidl/tensor.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace elan::minidl {
+
+Tensor::Tensor(int rows, int cols) : rows_(rows), cols_(cols) {
+  require(rows > 0 && cols > 0, "Tensor: non-positive shape");
+  data_.assign(static_cast<std::size_t>(rows) * static_cast<std::size_t>(cols), 0.0f);
+}
+
+void Tensor::throw_out_of_range() { throw InvalidArgument("Tensor::at out of range"); }
+
+void Tensor::init_glorot(std::uint64_t seed) {
+  // xorshift-based uniform in [-limit, limit]; deterministic across replicas.
+  const float limit = std::sqrt(6.0f / static_cast<float>(rows_ + cols_));
+  std::uint64_t x = seed ^ 0x9e3779b97f4a7c15ULL;
+  for (auto& v : data_) {
+    x ^= x >> 12;
+    x ^= x << 25;
+    x ^= x >> 27;
+    const double u = static_cast<double>((x * 0x2545f4914f6cdd1dULL) >> 11) /
+                     static_cast<double>(1ULL << 53);
+    v = limit * (2.0f * static_cast<float>(u) - 1.0f);
+  }
+}
+
+void Tensor::fill(float value) { std::fill(data_.begin(), data_.end(), value); }
+
+Tensor matmul(const Tensor& a, const Tensor& b) {
+  require(a.cols() == b.rows(), "matmul: shape mismatch");
+  Tensor out(a.rows(), b.cols());
+  for (int i = 0; i < a.rows(); ++i) {
+    for (int k = 0; k < a.cols(); ++k) {
+      const float aik = a.at(i, k);
+      if (aik == 0.0f) continue;
+      for (int j = 0; j < b.cols(); ++j) out.at(i, j) += aik * b.at(k, j);
+    }
+  }
+  return out;
+}
+
+Tensor matmul_transpose_b(const Tensor& a, const Tensor& b) {
+  require(a.cols() == b.cols(), "matmul_transpose_b: shape mismatch");
+  Tensor out(a.rows(), b.rows());
+  for (int i = 0; i < a.rows(); ++i) {
+    for (int j = 0; j < b.rows(); ++j) {
+      float acc = 0.0f;
+      for (int k = 0; k < a.cols(); ++k) acc += a.at(i, k) * b.at(j, k);
+      out.at(i, j) = acc;
+    }
+  }
+  return out;
+}
+
+Tensor matmul_transpose_a(const Tensor& a, const Tensor& b) {
+  require(a.rows() == b.rows(), "matmul_transpose_a: shape mismatch");
+  Tensor out(a.cols(), b.cols());
+  for (int k = 0; k < a.rows(); ++k) {
+    for (int i = 0; i < a.cols(); ++i) {
+      const float aki = a.at(k, i);
+      if (aki == 0.0f) continue;
+      for (int j = 0; j < b.cols(); ++j) out.at(i, j) += aki * b.at(k, j);
+    }
+  }
+  return out;
+}
+
+void add_row_bias(Tensor& x, const Tensor& bias) {
+  require(bias.rows() == 1 && bias.cols() == x.cols(), "add_row_bias: shape mismatch");
+  for (int i = 0; i < x.rows(); ++i) {
+    for (int j = 0; j < x.cols(); ++j) x.at(i, j) += bias.at(0, j);
+  }
+}
+
+Tensor relu(const Tensor& x) {
+  Tensor out = x;
+  for (auto& v : out.data()) v = std::max(0.0f, v);
+  return out;
+}
+
+Tensor relu_backward(const Tensor& grad_out, const Tensor& pre_activation) {
+  require(grad_out.same_shape(pre_activation), "relu_backward: shape mismatch");
+  Tensor out = grad_out;
+  auto g = out.data();
+  auto z = pre_activation.data();
+  for (std::size_t i = 0; i < g.size(); ++i) {
+    if (z[i] <= 0.0f) g[i] = 0.0f;
+  }
+  return out;
+}
+
+float softmax_cross_entropy(const Tensor& logits, const std::vector<int>& labels,
+                            Tensor* grad) {
+  require(static_cast<int>(labels.size()) == logits.rows(),
+          "softmax_cross_entropy: label count mismatch");
+  const int n = logits.rows();
+  const int c = logits.cols();
+  if (grad != nullptr) *grad = Tensor(n, c);
+  double loss = 0.0;
+  for (int i = 0; i < n; ++i) {
+    require(labels[static_cast<std::size_t>(i)] >= 0 &&
+                labels[static_cast<std::size_t>(i)] < c,
+            "softmax_cross_entropy: label out of range");
+    float max_logit = logits.at(i, 0);
+    for (int j = 1; j < c; ++j) max_logit = std::max(max_logit, logits.at(i, j));
+    double denom = 0.0;
+    for (int j = 0; j < c; ++j) denom += std::exp(logits.at(i, j) - max_logit);
+    const int y = labels[static_cast<std::size_t>(i)];
+    loss += -(logits.at(i, y) - max_logit - std::log(denom));
+    if (grad != nullptr) {
+      for (int j = 0; j < c; ++j) {
+        const double p = std::exp(logits.at(i, j) - max_logit) / denom;
+        grad->at(i, j) =
+            static_cast<float>((p - (j == y ? 1.0 : 0.0)) / static_cast<double>(n));
+      }
+    }
+  }
+  return static_cast<float>(loss / n);
+}
+
+std::vector<int> argmax_rows(const Tensor& logits) {
+  std::vector<int> out(static_cast<std::size_t>(logits.rows()));
+  for (int i = 0; i < logits.rows(); ++i) {
+    int best = 0;
+    for (int j = 1; j < logits.cols(); ++j) {
+      if (logits.at(i, j) > logits.at(i, best)) best = j;
+    }
+    out[static_cast<std::size_t>(i)] = best;
+  }
+  return out;
+}
+
+void accumulate(Tensor& a, const Tensor& b) {
+  require(a.same_shape(b), "accumulate: shape mismatch");
+  auto da = a.data();
+  auto db = b.data();
+  for (std::size_t i = 0; i < da.size(); ++i) da[i] += db[i];
+}
+
+void scale(Tensor& a, float s) {
+  for (auto& v : a.data()) v *= s;
+}
+
+}  // namespace elan::minidl

@@ -1,0 +1,92 @@
+// minidl — a miniature deep-learning framework with real math.
+//
+// The paper's generality claim (§V-A) is that integrating Elan with a new
+// framework only requires implementing hook functions. The simulation
+// engines elsewhere in this repository model *cost*; minidl is an actual
+// third framework — real tensors, real gradients, a real optimizer — used to
+// demonstrate that claim end to end: its training state rides through Elan's
+// hook/replication machinery byte-for-byte while the loss keeps going down.
+//
+// Tensor is a dense row-major float32 matrix; exactly the ops an MLP
+// classifier needs, each with a hand-written backward that the test suite
+// verifies against numerical differentiation.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/error.h"
+
+namespace elan::minidl {
+
+class Tensor {
+ public:
+  Tensor() = default;
+  Tensor(int rows, int cols);
+
+  int rows() const { return rows_; }
+  int cols() const { return cols_; }
+  std::size_t size() const { return data_.size(); }
+
+  // Bounds-checked element access. The check is a plain branch — no
+  // diagnostic strings are built unless it actually fails (this sits on the
+  // matmul hot path).
+  float& at(int r, int c) {
+    if (r < 0 || r >= rows_ || c < 0 || c >= cols_) throw_out_of_range();
+    return data_[static_cast<std::size_t>(r) * static_cast<std::size_t>(cols_) +
+                 static_cast<std::size_t>(c)];
+  }
+  float at(int r, int c) const {
+    if (r < 0 || r >= rows_ || c < 0 || c >= cols_) throw_out_of_range();
+    return data_[static_cast<std::size_t>(r) * static_cast<std::size_t>(cols_) +
+                 static_cast<std::size_t>(c)];
+  }
+
+  std::span<float> data() { return data_; }
+  std::span<const float> data() const { return data_; }
+
+  /// Deterministic scaled-uniform initialisation (Glorot-style).
+  void init_glorot(std::uint64_t seed);
+  void fill(float value);
+
+  bool same_shape(const Tensor& other) const {
+    return rows_ == other.rows_ && cols_ == other.cols_;
+  }
+
+ private:
+  int rows_ = 0;
+  int cols_ = 0;
+  std::vector<float> data_;
+
+  [[noreturn]] static void throw_out_of_range();
+};
+
+/// out = a(m,k) * b(k,n)
+Tensor matmul(const Tensor& a, const Tensor& b);
+/// out = a(m,k) * b(n,k)^T
+Tensor matmul_transpose_b(const Tensor& a, const Tensor& b);
+/// out = a(k,m)^T * b(k,n)
+Tensor matmul_transpose_a(const Tensor& a, const Tensor& b);
+
+/// Adds a row vector `bias` (1 x n) to every row of `x` (m x n), in place.
+void add_row_bias(Tensor& x, const Tensor& bias);
+
+/// ReLU forward (returns mask-applied copy) and backward (grad * mask).
+Tensor relu(const Tensor& x);
+Tensor relu_backward(const Tensor& grad_out, const Tensor& pre_activation);
+
+/// Softmax cross-entropy over rows. Returns mean loss; writes dlogits
+/// (softmax(x) - onehot(labels)) / batch into `grad` when non-null.
+float softmax_cross_entropy(const Tensor& logits, const std::vector<int>& labels,
+                            Tensor* grad);
+
+/// Row-wise argmax (predictions).
+std::vector<int> argmax_rows(const Tensor& logits);
+
+/// a += b (elementwise).
+void accumulate(Tensor& a, const Tensor& b);
+/// a *= s.
+void scale(Tensor& a, float s);
+
+}  // namespace elan::minidl

@@ -1,0 +1,390 @@
+#include "sched/cluster.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/error.h"
+#include "elan/hybrid_scaling.h"
+
+namespace elan::sched {
+
+const char* to_string(PolicyKind policy) {
+  switch (policy) {
+    case PolicyKind::kFifo: return "FIFO";
+    case PolicyKind::kBackfill: return "BF";
+    case PolicyKind::kElasticFifo: return "E-FIFO";
+    case PolicyKind::kElasticBackfill: return "E-BF";
+    case PolicyKind::kElasticSrtf: return "E-SRTF";
+  }
+  return "?";
+}
+
+bool is_elastic(PolicyKind policy) {
+  return policy == PolicyKind::kElasticFifo || policy == PolicyKind::kElasticBackfill ||
+         policy == PolicyKind::kElasticSrtf;
+}
+
+ClusterSim::ClusterSim(const train::ThroughputModel& throughput,
+                       const baselines::AdjustmentCostModel& costs, PolicyKind policy,
+                       baselines::System system, ClusterParams params)
+    : throughput_(&throughput),
+      costs_(&costs),
+      policy_(policy),
+      system_(system),
+      params_(params) {
+  require(params_.total_gpus > 0, "cluster: total_gpus must be positive");
+  require(params_.tick > 0, "cluster: tick must be positive");
+}
+
+int ClusterSim::hybrid_batch(const SchedJob& job, int workers) const {
+  const auto key = std::make_tuple(static_cast<int>(job.spec.model.kind), job.spec.req_res,
+                                   job.spec.base_total_batch, workers);
+  auto it = batch_cache_.find(key);
+  if (it != batch_cache_.end()) return it->second;
+  const HybridScaling hybrid(*throughput_, job.spec.model);
+  // Decide relative to the job's tuned configuration so the batch size is a
+  // pure function of the worker count (keeps reallocation estimates stable).
+  const int tbs =
+      hybrid.decide(job.spec.req_res, job.spec.base_total_batch, workers).total_batch;
+  batch_cache_.emplace(key, tbs);
+  return tbs;
+}
+
+double ClusterSim::job_throughput(const SchedJob& job, int workers) const {
+  const int tbs = hybrid_batch(job, workers);
+  const auto key = std::make_tuple(static_cast<int>(job.spec.model.kind), workers, tbs);
+  auto it = tput_cache_.find(key);
+  if (it != tput_cache_.end()) return it->second;
+  double tput = throughput_->throughput(job.spec.model, workers, tbs);
+  tput *= 1.0 - costs_->runtime_overhead(system_, job.spec.model, workers, tbs);
+  tput_cache_.emplace(key, tput);
+  return tput;
+}
+
+Seconds ClusterSim::estimated_remaining(const SchedJob& job, int workers) const {
+  const double tput = job_throughput(job, workers);
+  if (tput <= 0) return std::numeric_limits<double>::infinity();
+  return job.remaining_samples / tput;
+}
+
+std::vector<topo::GpuId> ClusterSim::take_gpus(int count,
+                                               const std::vector<topo::GpuId>& near) {
+  ensure(static_cast<int>(free_gpu_set_.size()) >= count, "take_gpus: pool exhausted");
+  const auto& topology = throughput_->topology();
+  // Prefer nodes the job already occupies, then the fullest free nodes
+  // (compact-first), taking whole-node runs where possible.
+  std::map<int, int> affinity;
+  for (auto g : near) ++affinity[topology.node_of(g)];
+  std::map<int, std::vector<topo::GpuId>> by_node;
+  for (auto g : free_gpu_set_) by_node[topology.node_of(g)].push_back(g);
+  std::vector<std::pair<int, std::vector<topo::GpuId>>> nodes(by_node.begin(),
+                                                              by_node.end());
+  std::sort(nodes.begin(), nodes.end(), [&](const auto& a, const auto& b) {
+    const int aa = affinity.count(a.first) ? affinity.at(a.first) : 0;
+    const int ab = affinity.count(b.first) ? affinity.at(b.first) : 0;
+    if (aa != ab) return aa > ab;
+    if (a.second.size() != b.second.size()) return a.second.size() > b.second.size();
+    return a.first < b.first;
+  });
+  std::vector<topo::GpuId> out;
+  for (const auto& [node, gpus] : nodes) {
+    for (auto g : gpus) {
+      if (static_cast<int>(out.size()) == count) break;
+      out.push_back(g);
+      free_gpu_set_.erase(g);
+    }
+    if (static_cast<int>(out.size()) == count) break;
+  }
+  return out;
+}
+
+void ClusterSim::release_gpus(SchedJob& job, int count) {
+  // Release from the job's least-populated nodes first so the remainder
+  // stays compact.
+  const auto& topology = throughput_->topology();
+  std::map<int, int> population;
+  for (auto g : job.gpus) ++population[topology.node_of(g)];
+  std::stable_sort(job.gpus.begin(), job.gpus.end(), [&](topo::GpuId a, topo::GpuId b) {
+    return population.at(topology.node_of(a)) > population.at(topology.node_of(b));
+  });
+  for (int i = 0; i < count; ++i) {
+    ensure(!job.gpus.empty(), "release_gpus: nothing to release");
+    free_gpu_set_.insert(job.gpus.back());
+    job.gpus.pop_back();
+  }
+}
+
+double ClusterSim::measured_throughput(const SchedJob& job) const {
+  if (!params_.placement_aware) return job_throughput(job, job.effective_workers(now_));
+  // The job's real placement sets the communication bottleneck. During an
+  // adjustment's start window the previous width applies; approximate the
+  // previous placement by the first prev_workers GPUs of the current set.
+  std::vector<topo::GpuId> members = job.gpus;
+  const int eff = job.effective_workers(now_);
+  if (static_cast<int>(members.size()) > eff && eff > 0) {
+    members.resize(static_cast<std::size_t>(eff));
+  }
+  const int tbs = job.effective_batch(now_);
+  double tput = throughput_->throughput_on(job.spec.model, members, tbs);
+  tput *= 1.0 - costs_->runtime_overhead(system_, job.spec.model,
+                                         static_cast<int>(members.size()), tbs);
+  return tput;
+}
+
+void ClusterSim::start_job(int index, int workers) {
+  SchedJob& job = jobs_[static_cast<std::size_t>(index)];
+  ensure(job.status == JobStatus::kPending, "start_job: not pending");
+  ensure(workers <= free_gpus_, "start_job: not enough free GPUs");
+  job.status = JobStatus::kRunning;
+  job.workers = workers;
+  job.total_batch = hybrid_batch(job, workers);
+  job.start_time = now_;
+  free_gpus_ -= workers;
+  if (params_.placement_aware) job.gpus = take_gpus(workers, {});
+  running_.push_back(index);
+  metrics_.pending_time.add(job.pending_time());
+}
+
+void ClusterSim::finish_job(int index) {
+  SchedJob& job = jobs_[static_cast<std::size_t>(index)];
+  job.status = JobStatus::kFinished;
+  job.finish_time = now_;
+  free_gpus_ += job.workers;
+  if (params_.placement_aware) {
+    for (auto g : job.gpus) free_gpu_set_.insert(g);
+    job.gpus.clear();
+  }
+  job.workers = 0;
+  running_.erase(std::find(running_.begin(), running_.end(), index));
+  metrics_.completion_time.add(job.completion_time());
+  ++metrics_.jobs_finished;
+  metrics_.makespan = std::max(metrics_.makespan, now_);
+  rebalance_requested_ = true;  // freed resources: re-run the allocation rule
+}
+
+void ClusterSim::apply_allocation(SchedJob& job, int new_workers) {
+  if (new_workers == job.workers) return;
+  const auto type = new_workers > job.workers ? AdjustmentType::kScaleOut
+                                              : AdjustmentType::kScaleIn;
+  const Seconds pause = costs_->pause_time(system_, type, job.spec.model, job.workers,
+                                           new_workers);
+  // Scale-out cannot take effect before the new workers have spawned and
+  // initialised, but under both Elan and S&R they do that *asynchronously*:
+  // the job keeps training on its old workers during the window and only
+  // pauses for the mechanism's own critical path afterwards.
+  const Seconds start_window =
+      type == AdjustmentType::kScaleOut && system_ != baselines::System::kIdeal
+          ? costs_->new_worker_ready_time()
+          : 0.0;
+  job.prev_workers = job.effective_workers(now_);
+  job.prev_total_batch = job.effective_batch(now_);
+  job.pause_start = now_ + start_window;
+  job.paused_until = now_ + start_window + pause;
+  free_gpus_ += job.workers - new_workers;
+  if (params_.placement_aware) {
+    if (new_workers > job.workers) {
+      const auto added = take_gpus(new_workers - job.workers, job.gpus);
+      job.gpus.insert(job.gpus.end(), added.begin(), added.end());
+    } else {
+      release_gpus(job, job.workers - new_workers);
+    }
+  }
+  job.workers = new_workers;
+  job.total_batch = hybrid_batch(job, new_workers);
+  ++job.adjustments;
+  ++metrics_.total_adjustments;
+}
+
+void ClusterSim::progress_running() {
+  std::vector<int> finished;
+  for (int index : running_) {
+    SchedJob& job = jobs_[static_cast<std::size_t>(index)];
+    if (job.paused(now_)) continue;
+    job.remaining_samples -= measured_throughput(job) * params_.tick;
+    if (job.remaining_samples <= 0) finished.push_back(index);
+  }
+  for (int index : finished) finish_job(index);
+}
+
+void ClusterSim::schedule_static() {
+  // FIFO head-of-queue starts.
+  while (!queue_.empty()) {
+    const SchedJob& head = jobs_[static_cast<std::size_t>(queue_.front())];
+    if (head.spec.req_res > free_gpus_) break;
+    start_job(queue_.front(), head.spec.req_res);
+    queue_.erase(queue_.begin());
+  }
+  if (policy_ != PolicyKind::kBackfill || queue_.empty() || free_gpus_ == 0) return;
+
+  // EASY backfill: reserve a start time for the head, then let later jobs
+  // run now if they fit and finish before the reservation.
+  const SchedJob& head = jobs_[static_cast<std::size_t>(queue_.front())];
+  std::vector<std::pair<Seconds, int>> releases;  // (finish estimate, workers)
+  for (int index : running_) {
+    const SchedJob& job = jobs_[static_cast<std::size_t>(index)];
+    releases.emplace_back(now_ + estimated_remaining(job, job.workers), job.workers);
+  }
+  std::sort(releases.begin(), releases.end());
+  int avail = free_gpus_;
+  Seconds shadow_time = std::numeric_limits<double>::infinity();
+  for (const auto& [when, workers] : releases) {
+    avail += workers;
+    if (avail >= head.spec.req_res) {
+      shadow_time = when;
+      break;
+    }
+  }
+
+  for (auto it = queue_.begin() + 1; it != queue_.end() && free_gpus_ > 0;) {
+    const SchedJob& job = jobs_[static_cast<std::size_t>(*it)];
+    const bool fits = job.spec.req_res <= free_gpus_;
+    const bool harmless =
+        now_ + estimated_remaining(job, job.spec.req_res) <= shadow_time;
+    if (fits && harmless) {
+      start_job(*it, job.spec.req_res);
+      it = queue_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+void ClusterSim::schedule_elastic() {
+  // Admission rule: a job can start once min_res GPUs are free. E-FIFO
+  // admits strictly in order; E-BF lets any queued job slip in; E-SRTF
+  // admits the shortest-estimated job first (the paper's future-work
+  // "more complicated policy").
+  if (policy_ == PolicyKind::kElasticSrtf) {
+    std::stable_sort(queue_.begin(), queue_.end(), [&](int a, int b) {
+      const auto& ja = jobs_[static_cast<std::size_t>(a)];
+      const auto& jb = jobs_[static_cast<std::size_t>(b)];
+      return estimated_remaining(ja, ja.spec.req_res) <
+             estimated_remaining(jb, jb.spec.req_res);
+    });
+  }
+  bool admitted = false;
+  for (auto it = queue_.begin(); it != queue_.end();) {
+    const SchedJob& job = jobs_[static_cast<std::size_t>(*it)];
+    if (job.spec.min_res <= free_gpus_) {
+      start_job(*it, job.spec.min_res);
+      it = queue_.erase(it);
+      admitted = true;
+    } else if (policy_ == PolicyKind::kElasticFifo) {
+      break;  // strict ordering
+    } else {
+      ++it;  // backfill/SRTF flavours keep scanning
+    }
+  }
+  if (admitted || rebalance_requested_ || now_ >= next_rebalance_) {
+    rebalance();
+    rebalance_requested_ = false;
+    next_rebalance_ = now_ + params_.rebalance_interval;
+  }
+}
+
+void ClusterSim::rebalance() {
+  if (running_.empty()) return;
+  // Allocation rule (paper §VI-C): give each job min_res, then repeatedly
+  // add one worker to the job with the greatest marginal gain (estimated
+  // JCT reduction per added worker, as in Optimus) until GPUs run out, every
+  // job hits max_res, or no gain is positive.
+  int budget = params_.total_gpus;
+  std::map<int, int> target;
+  for (int index : running_) {
+    const SchedJob& job = jobs_[static_cast<std::size_t>(index)];
+    target[index] = job.spec.min_res;
+    budget -= job.spec.min_res;
+  }
+  ensure(budget >= 0, "rebalance: min allocations exceed cluster");
+
+  while (budget > 0) {
+    int best_index = -1;
+    double best_gain = 0.0;
+    for (int index : running_) {
+      const SchedJob& job = jobs_[static_cast<std::size_t>(index)];
+      const int cur = target[index];
+      if (cur >= job.spec.max_res) continue;
+      const double gain =
+          estimated_remaining(job, cur) - estimated_remaining(job, cur + 1);
+      if (gain > best_gain) {
+        best_gain = gain;
+        best_index = index;
+      }
+    }
+    if (best_index < 0) break;
+    ++target[best_index];
+    --budget;
+  }
+
+  // Apply shrinks before grows: in placement-aware mode the grown jobs take
+  // concrete GPUs from the pool the shrunk jobs just returned.
+  for (const bool shrink_pass : {true, false}) {
+    for (int index : running_) {
+      SchedJob& job = jobs_[static_cast<std::size_t>(index)];
+      const int want = target[index];
+      if ((want < job.workers) != shrink_pass) continue;
+      if (std::abs(want - job.workers) < std::max(1, params_.rebalance_hysteresis)) continue;
+      apply_allocation(job, want);
+    }
+  }
+}
+
+void ClusterSim::admit_arrivals(const std::vector<SchedJobSpec>& trace,
+                                std::size_t& next_arrival) {
+  while (next_arrival < trace.size() && trace[next_arrival].submit_time <= now_) {
+    queue_.push_back(static_cast<int>(next_arrival));
+    ++next_arrival;
+  }
+}
+
+bool ClusterSim::all_done() const {
+  return queue_.empty() && running_.empty();
+}
+
+ScheduleMetrics ClusterSim::run(const std::vector<SchedJobSpec>& trace) {
+  require(!trace.empty(), "cluster: empty trace");
+  require(std::is_sorted(trace.begin(), trace.end(),
+                         [](const SchedJobSpec& a, const SchedJobSpec& b) {
+                           return a.submit_time < b.submit_time;
+                         }),
+          "cluster: trace must be sorted by submit time");
+
+  now_ = 0;
+  jobs_.clear();
+  jobs_.reserve(trace.size());
+  for (const auto& spec : trace) {
+    SchedJob job;
+    job.spec = spec;
+    job.remaining_samples = static_cast<double>(spec.total_samples);
+    jobs_.push_back(std::move(job));
+  }
+  queue_.clear();
+  running_.clear();
+  free_gpus_ = params_.total_gpus;
+  free_gpu_set_.clear();
+  if (params_.placement_aware) {
+    require(params_.total_gpus <= throughput_->topology().total_gpus(),
+            "cluster: placement-aware mode needs a topology covering total_gpus");
+    for (topo::GpuId g = 0; g < params_.total_gpus; ++g) free_gpu_set_.insert(g);
+  }
+  metrics_ = ScheduleMetrics{};
+  next_rebalance_ = 0;
+
+  std::size_t next_arrival = 0;
+  while (next_arrival < trace.size() || !all_done()) {
+    admit_arrivals(trace, next_arrival);
+    progress_running();
+    if (is_elastic(policy_)) {
+      schedule_elastic();
+    } else {
+      schedule_static();
+    }
+    const int busy = params_.total_gpus - free_gpus_;
+    metrics_.utilization.push_back(
+        {now_, static_cast<double>(busy) / params_.total_gpus});
+    now_ += params_.tick;
+  }
+  return metrics_;
+}
+
+}  // namespace elan::sched

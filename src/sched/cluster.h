@@ -1,0 +1,109 @@
+// Discrete-time cluster-scheduling simulator (paper §VI-C).
+//
+// Replays a job trace on a GPU cluster under four policies:
+//   FIFO          — start the queue head when req_res GPUs are free.
+//   Backfill (BF) — EASY backfilling on top of FIFO: a later job may start
+//                   now if it fits and finishes before the head's reserved
+//                   start (Slurm's default policy, the paper's second
+//                   baseline).
+//   E-FIFO / E-BF — the paper's elastic variants: a job may *start* with as
+//                   few as min_res workers (admission rule), and a
+//                   marginal-gain waterfilling loop reallocates all GPUs
+//                   across running jobs (allocation rule), with batch size /
+//                   LR following the hybrid scaling mechanism.
+//
+// The elastic system executing the adjustments (Ideal / Elan / S&R) sets the
+// pause each reallocation costs and the runtime overhead — exactly the
+// paper's Fig 22 ablation.
+#pragma once
+
+#include <map>
+#include <set>
+#include <tuple>
+#include <vector>
+
+#include "baselines/adjustment_cost.h"
+#include "sched/job.h"
+#include "sched/metrics.h"
+#include "train/throughput.h"
+
+namespace elan::sched {
+
+/// kElasticSrtf implements the paper's deferred future work ("a more
+/// complicated scheduling policy"): elastic admission ordered by shortest
+/// estimated remaining time, which trades a little fairness for mean JCT.
+enum class PolicyKind { kFifo, kBackfill, kElasticFifo, kElasticBackfill, kElasticSrtf };
+
+const char* to_string(PolicyKind policy);
+bool is_elastic(PolicyKind policy);
+
+struct ClusterParams {
+  int total_gpus = 128;
+  Seconds tick = 10.0;
+  /// How often the elastic allocation rule re-runs (also runs on every
+  /// arrival and completion).
+  Seconds rebalance_interval = 300.0;
+  /// Ignore marginal-gain reallocations that change a job by less than this
+  /// many workers (hysteresis against thrash).
+  int rebalance_hysteresis = 1;
+  /// When set, jobs are bound to concrete GPUs (compact-first allocation)
+  /// and their *measured* throughput follows the actual placement's
+  /// communication bottleneck — fragmentation physically slows jobs. The
+  /// default (off) is the paper's count-based simulator.
+  bool placement_aware = false;
+};
+
+class ClusterSim {
+ public:
+  ClusterSim(const train::ThroughputModel& throughput,
+             const baselines::AdjustmentCostModel& costs, PolicyKind policy,
+             baselines::System system, ClusterParams params = {});
+
+  /// Runs the trace to completion and returns the metrics.
+  ScheduleMetrics run(const std::vector<SchedJobSpec>& trace);
+
+ private:
+  const train::ThroughputModel* throughput_;
+  const baselines::AdjustmentCostModel* costs_;
+  PolicyKind policy_;
+  baselines::System system_;
+  ClusterParams params_;
+
+  // Run state.
+  Seconds now_ = 0;
+  std::vector<SchedJob> jobs_;
+  std::vector<int> queue_;    // pending job indices in submit order
+  std::vector<int> running_;  // running job indices
+  int free_gpus_ = 0;
+  std::set<topo::GpuId> free_gpu_set_;  // placement-aware mode only
+  ScheduleMetrics metrics_;
+  Seconds next_rebalance_ = 0;
+  bool rebalance_requested_ = false;
+
+  // Throughput-model lookups dominate the simulation loop; configurations
+  // repeat constantly, so memoise them. Keys: (model kind, workers, batch).
+  mutable std::map<std::tuple<int, int, int>, double> tput_cache_;
+  mutable std::map<std::tuple<int, int, int, int>, int> batch_cache_;
+
+  void tick();
+  void admit_arrivals(const std::vector<SchedJobSpec>& trace, std::size_t& next_arrival);
+  void progress_running();
+  void schedule_static();
+  void schedule_elastic();
+  void rebalance();
+  void start_job(int index, int workers);
+  void finish_job(int index);
+  void apply_allocation(SchedJob& job, int new_workers);
+
+  // Placement-aware mode helpers.
+  std::vector<topo::GpuId> take_gpus(int count, const std::vector<topo::GpuId>& near);
+  void release_gpus(SchedJob& job, int count);
+  double measured_throughput(const SchedJob& job) const;
+
+  double job_throughput(const SchedJob& job, int workers) const;
+  int hybrid_batch(const SchedJob& job, int workers) const;
+  Seconds estimated_remaining(const SchedJob& job, int workers) const;
+  bool all_done() const;
+};
+
+}  // namespace elan::sched

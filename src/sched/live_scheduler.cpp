@@ -1,0 +1,271 @@
+#include "sched/live_scheduler.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+#include "common/log.h"
+#include "elan/hybrid_scaling.h"
+
+namespace elan::sched {
+
+LiveScheduler::LiveScheduler(sim::Simulator& simulator, const topo::Topology& topology,
+                             const topo::BandwidthModel& bandwidth,
+                             storage::SimFilesystem& filesystem, transport::MessageBus& bus,
+                             transport::KvStore& kv, LiveSchedulerParams params)
+    : sim_(simulator),
+      topology_(topology),
+      bandwidth_(bandwidth),
+      fs_(filesystem),
+      bus_(bus),
+      kv_(kv),
+      params_(params),
+      throughput_(topology, bandwidth),
+      memory_pool_(topology) {
+  for (topo::GpuId g = 0; g < topology_.total_gpus(); ++g) free_.insert(g);
+}
+
+bool LiveScheduler::gpu_in_use(topo::GpuId gpu) const {
+  if (free_.count(gpu) > 0) return true;  // "in use" by the free pool
+  for (const auto& [id, rj] : running_) {
+    for (int w : rj.job->worker_ids()) {
+      if (rj.job->worker(w).gpu() == gpu) return true;
+    }
+  }
+  return false;
+}
+
+void LiveScheduler::submit(LiveJobSpec spec) {
+  require(!spec.job_id.empty(), "live: job needs an id");
+  require(spec.min_workers > 0 && spec.min_workers <= spec.max_workers,
+          "live: bad worker bounds");
+  require(spec.min_workers <= topology_.total_gpus(), "live: job larger than cluster");
+  require(spec.target_samples > 0, "live: job needs work");
+  queue_.emplace_back(std::move(spec), sim_.now());
+  if (started_) sim_.schedule(0.0, [this] { tick(); });
+}
+
+void LiveScheduler::start() {
+  require(!started_, "live: already started");
+  started_ = true;
+  tick();
+}
+
+const ElasticJob* LiveScheduler::job(const std::string& job_id) const {
+  auto it = running_.find(job_id);
+  return it == running_.end() ? nullptr : it->second.job.get();
+}
+
+std::vector<topo::GpuId> LiveScheduler::allocate_gpus(int n) {
+  ensure(static_cast<int>(free_.size()) >= n, "live: not enough free GPUs");
+  // Group free GPUs by node; take from the fullest nodes first so jobs stay
+  // compact (fast replication/allreduce links).
+  std::map<int, std::vector<topo::GpuId>> by_node;
+  for (auto g : free_) by_node[topology_.node_of(g)].push_back(g);
+  std::vector<std::pair<int, std::vector<topo::GpuId>>> nodes(by_node.begin(), by_node.end());
+  std::sort(nodes.begin(), nodes.end(), [](const auto& a, const auto& b) {
+    if (a.second.size() != b.second.size()) return a.second.size() > b.second.size();
+    return a.first < b.first;
+  });
+  std::vector<topo::GpuId> out;
+  for (const auto& [node, gpus] : nodes) {
+    for (auto g : gpus) {
+      if (static_cast<int>(out.size()) == n) break;
+      out.push_back(g);
+      free_.erase(g);
+    }
+    if (static_cast<int>(out.size()) == n) break;
+  }
+  return out;
+}
+
+std::vector<int> LiveScheduler::pick_victims(const ElasticJob& job, int count) const {
+  // Prefer removing workers from the job's least-populated nodes: the
+  // survivors stay compact and whole nodes free up for other jobs.
+  std::map<int, std::vector<int>> by_node;  // node -> worker ids
+  for (int id : job.worker_ids()) {
+    by_node[topology_.node_of(job.worker(id).gpu())].push_back(id);
+  }
+  std::vector<std::pair<int, std::vector<int>>> nodes(by_node.begin(), by_node.end());
+  std::sort(nodes.begin(), nodes.end(), [](const auto& a, const auto& b) {
+    if (a.second.size() != b.second.size()) return a.second.size() < b.second.size();
+    return a.first < b.first;
+  });
+  std::vector<int> victims;
+  for (const auto& [node, ids] : nodes) {
+    for (int id : ids) {
+      if (static_cast<int>(victims.size()) == count) return victims;
+      victims.push_back(id);
+    }
+  }
+  return victims;
+}
+
+std::uint64_t LiveScheduler::remaining_samples(const RunningJob& rj) const {
+  const auto processed = rj.job->samples_processed();
+  return processed >= rj.spec.target_samples ? 0 : rj.spec.target_samples - processed;
+}
+
+double LiveScheduler::marginal_gain(const RunningJob& rj, int extra) const {
+  const int cur = rj.job->num_workers();
+  const int next = cur + extra;
+  if (next < rj.spec.min_workers || next > rj.spec.max_workers) return -1.0;
+  const HybridScaling hybrid(throughput_, rj.spec.model);
+  const auto cur_tbs = rj.job->total_batch();
+  const auto next_tbs = hybrid.decide(cur, cur_tbs, next).total_batch;
+  const double rem = static_cast<double>(remaining_samples(rj));
+  const double t_cur = rem / throughput_.throughput(rj.spec.model, cur, cur_tbs);
+  const double t_next = rem / throughput_.throughput(rj.spec.model, next, next_tbs);
+  return t_cur - t_next;  // positive when adding helps, negative when removing hurts
+}
+
+void LiveScheduler::try_admit() {
+  while (!queue_.empty()) {
+    auto& [spec, submitted] = queue_.front();
+    if (static_cast<int>(free_.size()) < spec.min_workers) break;
+
+    RunningJob rj;
+    rj.spec = spec;
+    rj.stats.job_id = spec.job_id;
+    rj.stats.submitted_at = submitted;
+    rj.stats.started_at = sim_.now();
+
+    JobConfig cfg;
+    cfg.job_id = spec.job_id;
+    cfg.model = spec.model;
+    cfg.initial_workers = spec.min_workers;
+    cfg.initial_gpus = allocate_gpus(spec.min_workers);
+    cfg.initial_total_batch = spec.per_worker_batch * spec.min_workers;
+    cfg.base_lr = 0.1 * cfg.initial_total_batch / 256.0;
+    cfg.coordination_interval = params_.coordination_interval;
+    auto job = std::make_unique<ElasticJob>(sim_, topology_, bandwidth_, fs_, bus_, kv_,
+                                            std::move(cfg), &memory_pool_);
+    const std::string id = spec.job_id;
+    job->on_iteration = [this, id](std::uint64_t) {
+      auto it = running_.find(id);
+      if (it != running_.end() && remaining_samples(it->second) == 0) {
+        it->second.job->stop();
+      }
+    };
+    job->on_stopped = [this, id] {
+      // Defer: on_stopped fires inside the job's own call stack.
+      sim_.schedule(0.0, [this, id] { finish_job(id); });
+    };
+    job->stop_after_iterations(~0ULL >> 1);
+    job->start();
+    rj.job = std::move(job);
+    log_info() << "live: admitted " << id << " with " << spec.min_workers << " workers";
+    running_.emplace(id, std::move(rj));
+    queue_.pop_front();
+  }
+}
+
+void LiveScheduler::finish_job(const std::string& job_id) {
+  auto it = running_.find(job_id);
+  if (it == running_.end()) return;
+  auto& rj = it->second;
+  rj.stats.finished_at = sim_.now();
+  rj.stats.adjustments = static_cast<int>(rj.job->adjustments().size());
+  for (int id : rj.job->worker_ids()) free_.insert(rj.job->worker(id).gpu());
+  finished_.push_back(rj.stats);
+  log_info() << "live: finished " << job_id;
+  running_.erase(it);
+  sim_.schedule(0.0, [this] { tick(); });
+}
+
+void LiveScheduler::rebalance() {
+  // Grow: hand spare GPUs to the job with the best marginal gain, one
+  // adjustment per job per tick (the AM serialises adjustments anyway).
+  bool progress = true;
+  while (progress && !free_.empty()) {
+    progress = false;
+    RunningJob* best = nullptr;
+    double best_gain = 0.0;
+    for (auto& [id, rj] : running_) {
+      if (rj.job->adjustment_pending()) continue;  // adjustment already in flight
+      const double gain = marginal_gain(rj, +1);
+      if (gain > best_gain) {
+        best_gain = gain;
+        best = &rj;
+      }
+    }
+    if (best == nullptr) break;
+    // Give as many GPUs as keep paying off, up to the spare pool.
+    int grant = 0;
+    while (grant < static_cast<int>(free_.size()) &&
+           best->job->num_workers() + grant < best->spec.max_workers &&
+           marginal_gain(*best, grant + 1) > marginal_gain(*best, grant)) {
+      ++grant;
+    }
+    grant = std::max(grant, 1);
+    grant = std::min(grant, static_cast<int>(free_.size()));
+    grant = std::min(grant, best->spec.max_workers - best->job->num_workers());
+    if (grant <= 0) break;
+    best->job->request_scale_out(allocate_gpus(grant));
+    progress = true;
+  }
+
+  // Shrink: when jobs queue, reclaim GPUs from the running job whose
+  // marginal loss is smallest, down to its min_workers.
+  if (!queue_.empty()) {
+    const int needed = queue_.front().first.min_workers - static_cast<int>(free_.size());
+    if (needed > 0) {
+      RunningJob* cheapest = nullptr;
+      double cheapest_loss = 0.0;
+      for (auto& [id, rj] : running_) {
+        if (rj.job->adjustment_pending()) continue;
+        const int removable = rj.job->num_workers() - rj.spec.min_workers;
+        if (removable < needed) continue;
+        const double loss = -marginal_gain(rj, -needed);
+        if (cheapest == nullptr || loss < cheapest_loss) {
+          cheapest = &rj;
+          cheapest_loss = loss;
+        }
+      }
+      if (cheapest != nullptr) {
+        const auto victims = pick_victims(*cheapest->job, needed);
+        // The freed GPUs come back when the adjustment completes; reclaim
+        // them lazily on the next tick after the workers are gone.
+        const std::string id = cheapest->spec.job_id;
+        cheapest->job->request_scale_in(victims);
+        std::vector<topo::GpuId> gpus;
+        for (int v : victims) gpus.push_back(cheapest->job->worker(v).gpu());
+        // Track released GPUs once the scale-in lands.
+        auto poll = std::make_shared<std::function<void()>>();
+        *poll = [this, id, gpus, poll] {
+          auto jt = running_.find(id);
+          const bool victims_gone =
+              jt == running_.end() || !jt->second.job->adjustment_pending();
+          if (!victims_gone) {
+            sim_.schedule(1.0, *poll);
+            return;
+          }
+          // Free the victims' GPUs unless someone already owns them (the job
+          // may have finished first, in which case finish_job freed its
+          // remaining workers but not these).
+          for (auto g : gpus) {
+            if (!gpu_in_use(g)) free_.insert(g);
+          }
+          sim_.schedule(0.0, [this] { tick(); });
+        };
+        sim_.schedule(1.0, *poll);
+      }
+    }
+  }
+}
+
+void LiveScheduler::tick() {
+  if (!started_) return;
+  try_admit();
+  rebalance();
+
+  int busy = 0;
+  for (const auto& [id, rj] : running_) busy += rj.job->num_workers();
+  utilization_.push_back(
+      {sim_.now(), static_cast<double>(busy) / topology_.total_gpus()});
+
+  if (!all_done()) {
+    sim_.schedule(params_.rebalance_interval, [this] { tick(); });
+  }
+}
+
+}  // namespace elan::sched

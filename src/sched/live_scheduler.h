@@ -1,0 +1,123 @@
+// Live elastic scheduler.
+//
+// ClusterSim (cluster.h) is the paper's *discrete-time* scheduling simulator:
+// it prices adjustments analytically to evaluate policies over two-day
+// traces. LiveScheduler is the complementary end-to-end integration: it
+// manages real ElasticJob instances — real application masters, worker
+// processes, coordination messages, state replication — on one shared
+// discrete-event cluster, driving them through the Table III service API
+// exactly the way a production scheduler would (paper Fig 2, step 1).
+//
+// Policy (a live rendition of the paper's §VI-C elastic policy):
+//   * admission — a submitted job starts once min_workers GPUs are free;
+//   * allocation — at every rebalance tick, greedily hand spare GPUs to the
+//     job with the highest marginal gain (estimated remaining-time drop per
+//     added worker), and reclaim GPUs from jobs whose marginal loss is
+//     smallest when pending jobs need them;
+//   * placement — GPUs are allocated most-compact-node-first so replication
+//     and allreduce stay on fast links.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "elan/job.h"
+#include "sched/metrics.h"
+#include "storage/filesystem.h"
+
+namespace elan::sched {
+
+struct LiveJobSpec {
+  std::string job_id;
+  train::ModelSpec model;
+  int min_workers = 1;
+  int max_workers = 8;
+  /// Per-worker batch the job was tuned for (TBS follows hybrid scaling).
+  int per_worker_batch = 32;
+  /// Work: the job finishes after this many samples.
+  std::uint64_t target_samples = 0;
+};
+
+struct LiveSchedulerParams {
+  Seconds rebalance_interval = 30.0;
+  std::uint64_t coordination_interval = 1;
+};
+
+struct LiveJobStats {
+  std::string job_id;
+  Seconds submitted_at = -1;
+  Seconds started_at = -1;
+  Seconds finished_at = -1;
+  int adjustments = 0;
+  Seconds pending_time() const { return started_at - submitted_at; }
+  Seconds completion_time() const { return finished_at - submitted_at; }
+};
+
+class LiveScheduler {
+ public:
+  LiveScheduler(sim::Simulator& simulator, const topo::Topology& topology,
+                const topo::BandwidthModel& bandwidth, storage::SimFilesystem& filesystem,
+                transport::MessageBus& bus, transport::KvStore& kv,
+                LiveSchedulerParams params = {});
+
+  /// Submits a job (queues it; admission happens on the next tick).
+  void submit(LiveJobSpec spec);
+
+  /// Starts the periodic scheduling loop.
+  void start();
+
+  // --- Introspection --------------------------------------------------------
+  int free_gpus() const { return static_cast<int>(free_.size()); }
+  int running_jobs() const { return static_cast<int>(running_.size()); }
+  int pending_jobs() const { return static_cast<int>(queue_.size()); }
+  bool all_done() const { return queue_.empty() && running_.empty(); }
+
+  const std::vector<LiveJobStats>& finished() const { return finished_; }
+  const std::vector<UtilizationSample>& utilization() const { return utilization_; }
+  const ElasticJob* job(const std::string& job_id) const;
+
+ private:
+  struct RunningJob {
+    LiveJobSpec spec;
+    std::unique_ptr<ElasticJob> job;
+    LiveJobStats stats;
+  };
+
+  sim::Simulator& sim_;
+  const topo::Topology& topology_;
+  const topo::BandwidthModel& bandwidth_;
+  storage::SimFilesystem& fs_;
+  transport::MessageBus& bus_;
+  transport::KvStore& kv_;
+  LiveSchedulerParams params_;
+  train::ThroughputModel throughput_;
+  /// Shared device-memory pool: placement conflicts across jobs become hard
+  /// OutOfMemory errors instead of silent oversubscription.
+  memory::MemoryPool memory_pool_;
+
+  std::set<topo::GpuId> free_;
+  std::deque<std::pair<LiveJobSpec, Seconds>> queue_;  // spec + submit time
+  std::map<std::string, RunningJob> running_;
+  std::vector<LiveJobStats> finished_;
+  std::vector<UtilizationSample> utilization_;
+  bool started_ = false;
+
+  void tick();
+  void try_admit();
+  void rebalance();
+  void finish_job(const std::string& job_id);
+  /// Picks `n` free GPUs, most-compact node first; removes them from free_.
+  std::vector<topo::GpuId> allocate_gpus(int n);
+  /// Chooses scale-in victims: workers on the job's least-populated nodes.
+  std::vector<int> pick_victims(const ElasticJob& job, int count) const;
+  double marginal_gain(const RunningJob& rj, int extra) const;
+  std::uint64_t remaining_samples(const RunningJob& rj) const;
+  bool gpu_in_use(topo::GpuId gpu) const;
+};
+
+}  // namespace elan::sched

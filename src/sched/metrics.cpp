@@ -1,0 +1,12 @@
+#include "sched/metrics.h"
+
+namespace elan::sched {
+
+double ScheduleMetrics::average_utilization() const {
+  if (utilization.empty()) return 0.0;
+  double sum = 0.0;
+  for (const auto& s : utilization) sum += s.utilization;
+  return sum / static_cast<double>(utilization.size());
+}
+
+}  // namespace elan::sched

@@ -1,0 +1,27 @@
+// Scheduling metrics (paper Figs 20-22).
+#pragma once
+
+#include <vector>
+
+#include "common/stats.h"
+#include "common/units.h"
+
+namespace elan::sched {
+
+struct UtilizationSample {
+  Seconds time = 0;
+  double utilization = 0;  // allocated GPUs / total GPUs
+};
+
+struct ScheduleMetrics {
+  Stats pending_time;     // JPT per job
+  Stats completion_time;  // JCT per job
+  Seconds makespan = 0;   // last finish - first submit
+  std::vector<UtilizationSample> utilization;
+  int total_adjustments = 0;
+  int jobs_finished = 0;
+
+  double average_utilization() const;
+};
+
+}  // namespace elan::sched

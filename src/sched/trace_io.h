@@ -1,0 +1,26 @@
+// CSV import/export for scheduling traces and metrics.
+//
+// Lets users persist generated traces (for reproducible comparisons across
+// policies/systems), bring their own production traces, and post-process
+// simulation results with external tooling.
+//
+// Trace CSV columns:
+//   id,submit_time,model,req_res,min_res,max_res,base_total_batch,total_samples
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "sched/job.h"
+#include "sched/metrics.h"
+
+namespace elan::sched {
+
+void write_trace_csv(std::ostream& os, const std::vector<SchedJobSpec>& trace);
+std::vector<SchedJobSpec> read_trace_csv(std::istream& is);
+
+/// Per-sample utilisation timeline: time_seconds,utilization.
+void write_utilization_csv(std::ostream& os, const std::vector<UtilizationSample>& samples);
+
+}  // namespace elan::sched

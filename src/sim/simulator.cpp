@@ -1,0 +1,62 @@
+#include "sim/simulator.h"
+
+#include <cmath>
+
+namespace elan::sim {
+
+EventId Simulator::schedule(Seconds delay, Callback fn) {
+  require(delay >= 0.0 && std::isfinite(delay), "Simulator::schedule: bad delay");
+  return schedule_at(now_ + delay, std::move(fn));
+}
+
+EventId Simulator::schedule_at(Seconds when, Callback fn) {
+  require(when >= now_, "Simulator::schedule_at: time in the past");
+  require(static_cast<bool>(fn), "Simulator::schedule_at: empty callback");
+  const EventId id = next_id_++;
+  callbacks_.emplace(id, std::move(fn));
+  queue_.push(Event{when, next_seq_++, id});
+  return id;
+}
+
+bool Simulator::cancel(EventId id) { return callbacks_.erase(id) > 0; }
+
+bool Simulator::step() {
+  while (!queue_.empty()) {
+    const Event ev = queue_.top();
+    queue_.pop();
+    auto it = callbacks_.find(ev.id);
+    if (it == callbacks_.end()) continue;  // cancelled
+    Callback fn = std::move(it->second);
+    callbacks_.erase(it);
+    ensure(ev.time >= now_, "Simulator: time went backwards");
+    now_ = ev.time;
+    ++executed_;
+    fn();
+    return true;
+  }
+  return false;
+}
+
+Seconds Simulator::run() {
+  while (step()) {
+  }
+  return now_;
+}
+
+Seconds Simulator::run_until(Seconds deadline) {
+  require(deadline >= now_, "Simulator::run_until: deadline in the past");
+  while (!queue_.empty()) {
+    // Skip over cancelled events without advancing time.
+    const Event ev = queue_.top();
+    if (callbacks_.find(ev.id) == callbacks_.end()) {
+      queue_.pop();
+      continue;
+    }
+    if (ev.time > deadline) break;
+    step();
+  }
+  now_ = deadline;
+  return now_;
+}
+
+}  // namespace elan::sim

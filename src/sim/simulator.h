@@ -1,0 +1,84 @@
+// Discrete-event simulation engine.
+//
+// All of Elan's timing behaviour (iteration times, transfer times, message
+// latencies, process start/init delays) is executed against this virtual
+// clock; nothing in the repository sleeps on wall-clock time.
+//
+// The engine is deliberately minimal: a priority queue of (time, sequence,
+// callback) events. Components schedule closures; determinism comes from the
+// strict (time, insertion-order) ordering.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_map>
+#include <vector>
+
+#include "common/error.h"
+#include "common/units.h"
+
+namespace elan::sim {
+
+/// Handle used to cancel a scheduled event.
+using EventId = std::uint64_t;
+
+class Simulator {
+ public:
+  using Callback = std::function<void()>;
+
+  /// Current virtual time in seconds.
+  Seconds now() const { return now_; }
+
+  /// Schedules `fn` to run `delay` seconds from now. Returns a handle that
+  /// can be passed to `cancel`.
+  EventId schedule(Seconds delay, Callback fn);
+
+  /// Schedules `fn` at an absolute virtual time (must be >= now()).
+  EventId schedule_at(Seconds when, Callback fn);
+
+  /// Cancels a pending event. Cancelling an already-fired or unknown event is
+  /// a no-op (returns false).
+  bool cancel(EventId id);
+
+  /// Runs until the event queue drains. Returns the final virtual time.
+  Seconds run();
+
+  /// Runs events with time <= `deadline`, then advances now() to `deadline`
+  /// if the queue drained earlier. Returns the new now().
+  Seconds run_until(Seconds deadline);
+
+  /// Executes at most one event. Returns false if the queue is empty.
+  bool step();
+
+  /// Number of pending (non-cancelled) events.
+  std::size_t pending() const { return callbacks_.size(); }
+
+  /// Total events executed so far (for tests / diagnostics).
+  std::uint64_t executed() const { return executed_; }
+
+ private:
+  struct Event {
+    Seconds time;
+    std::uint64_t seq;
+    EventId id;
+    // Ordered so that the earliest time (and, for ties, lowest sequence
+    // number) has the highest priority.
+    bool operator>(const Event& other) const {
+      if (time != other.time) return time > other.time;
+      return seq > other.seq;
+    }
+  };
+
+  Seconds now_ = 0.0;
+  std::uint64_t next_seq_ = 0;
+  EventId next_id_ = 1;
+  std::uint64_t executed_ = 0;
+
+  std::priority_queue<Event, std::vector<Event>, std::greater<Event>> queue_;
+  // Callbacks stored out-of-line so cancellation is O(1); an event popped
+  // from the queue whose id is absent here was cancelled.
+  std::unordered_map<EventId, Callback> callbacks_;
+};
+
+}  // namespace elan::sim

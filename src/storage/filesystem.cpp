@@ -1,0 +1,59 @@
+#include "storage/filesystem.h"
+
+#include <algorithm>
+
+namespace elan::storage {
+
+Seconds SimFilesystem::io_time(int clients, Bytes bytes_per_client, BytesPerSecond per_client,
+                               bool is_write) const {
+  require(clients > 0, "io_time: clients must be positive");
+  (void)is_write;
+  const double demand = per_client * clients;
+  const double bw_per_client =
+      demand <= params_.aggregate_bandwidth ? per_client : params_.aggregate_bandwidth / clients;
+  return params_.metadata_latency + static_cast<double>(bytes_per_client) / bw_per_client;
+}
+
+Seconds SimFilesystem::write(const std::string& path, std::vector<std::uint8_t> data) {
+  const Seconds t = io_time(1, data.size(), params_.write_bandwidth_per_client, true);
+  bytes_written_ += data.size();
+  files_[path] = std::move(data);
+  return t;
+}
+
+const std::vector<std::uint8_t>& SimFilesystem::read(const std::string& path,
+                                                     Seconds* io_time_out) const {
+  auto it = files_.find(path);
+  if (it == files_.end()) throw NotFound("file: " + path);
+  if (io_time_out != nullptr) {
+    *io_time_out = io_time(1, it->second.size(), params_.read_bandwidth_per_client, false);
+  }
+  return it->second;
+}
+
+void SimFilesystem::remove(const std::string& path) {
+  if (files_.erase(path) == 0) throw NotFound("file: " + path);
+}
+
+Bytes SimFilesystem::size(const std::string& path) const {
+  auto it = files_.find(path);
+  if (it == files_.end()) throw NotFound("file: " + path);
+  return it->second.size();
+}
+
+std::vector<std::string> SimFilesystem::list() const {
+  std::vector<std::string> out;
+  out.reserve(files_.size());
+  for (const auto& [path, data] : files_) out.push_back(path);
+  return out;
+}
+
+Seconds SimFilesystem::concurrent_write_time(int clients, Bytes bytes_per_client) const {
+  return io_time(clients, bytes_per_client, params_.write_bandwidth_per_client, true);
+}
+
+Seconds SimFilesystem::concurrent_read_time(int clients, Bytes bytes_per_client) const {
+  return io_time(clients, bytes_per_client, params_.read_bandwidth_per_client, false);
+}
+
+}  // namespace elan::storage

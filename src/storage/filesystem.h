@@ -1,0 +1,66 @@
+// Simulated shared filesystem (Lustre-like).
+//
+// Used by the Shutdown-&-Restart baseline for checkpoints and by the KV store
+// for persistence. Files are real in-memory byte vectors (contents are
+// verifiable) while IO *timing* is modelled: per-operation metadata latency
+// plus a bandwidth term, with an aggregate-bandwidth cap shared by concurrent
+// clients.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/error.h"
+#include "common/units.h"
+
+namespace elan::storage {
+
+struct FilesystemParams {
+  // A shared Lustre system: decent streaming bandwidth per client, modest
+  // metadata performance.
+  BytesPerSecond write_bandwidth_per_client = gib_per_sec(1.2);
+  BytesPerSecond read_bandwidth_per_client = gib_per_sec(1.8);
+  BytesPerSecond aggregate_bandwidth = gib_per_sec(6.0);
+  Seconds metadata_latency = milliseconds(6.0);
+};
+
+class SimFilesystem {
+ public:
+  explicit SimFilesystem(FilesystemParams params = {}) : params_(params) {}
+
+  const FilesystemParams& params() const { return params_; }
+
+  /// Stores `data` under `path` (overwrites). Returns the IO time for one
+  /// client writing alone.
+  Seconds write(const std::string& path, std::vector<std::uint8_t> data);
+
+  /// Reads the file; throws NotFound if missing. Returns the data and the IO
+  /// time via `io_time`.
+  const std::vector<std::uint8_t>& read(const std::string& path, Seconds* io_time = nullptr) const;
+
+  bool exists(const std::string& path) const { return files_.count(path) > 0; }
+  void remove(const std::string& path);
+  Bytes size(const std::string& path) const;
+  std::vector<std::string> list() const;
+
+  /// IO time for `clients` concurrent writers each moving `bytes_per_client`,
+  /// respecting the aggregate bandwidth cap. This is the number the S&R
+  /// baseline uses when N workers checkpoint simultaneously.
+  Seconds concurrent_write_time(int clients, Bytes bytes_per_client) const;
+  Seconds concurrent_read_time(int clients, Bytes bytes_per_client) const;
+
+  /// Total bytes ever written (for IO-volume accounting in benches).
+  Bytes bytes_written() const { return bytes_written_; }
+
+ private:
+  FilesystemParams params_;
+  std::map<std::string, std::vector<std::uint8_t>> files_;
+  Bytes bytes_written_ = 0;
+
+  Seconds io_time(int clients, Bytes bytes_per_client, BytesPerSecond per_client,
+                  bool is_write) const;
+};
+
+}  // namespace elan::storage

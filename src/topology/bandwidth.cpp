@@ -1,0 +1,83 @@
+#include "topology/bandwidth.h"
+
+namespace elan::topo {
+
+BandwidthModel::BandwidthModel() {
+  // P2P DMA through a shared PCIe 3.0 switch: near the full x16 payload rate.
+  l1_ = LinkParams{gib_per_sec(12.0), microseconds(10.0), 256_KiB};
+  // SHM via the host bridge: two PCIe hops plus a bounce through host memory.
+  l2_ = LinkParams{gib_per_sec(7.0), microseconds(25.0), 512_KiB};
+  // SHM across the socket interconnect (QPI): extra hop, lower ceiling.
+  l3_ = LinkParams{gib_per_sec(5.2), microseconds(35.0), 512_KiB};
+  // 56 Gbps InfiniBand: ~7 GB/s raw, ~4.7 GiB/s effective payload.
+  l4_ = LinkParams{gib_per_sec(4.7), microseconds(60.0), 1_MiB};
+  // 1 GbE control network used for coordination and CPU-state replication.
+  // half_peak_size = 0: small control messages pay only the latency term.
+  // 80 us one-way is a typical quiet-LAN small-message latency.
+  control_ = LinkParams{mib_per_sec(110.0), microseconds(80.0), 0};
+  // PCIe host<->device copies (cudaMemcpy-like).
+  host_device_ = LinkParams{gib_per_sec(10.5), microseconds(15.0), 256_KiB};
+}
+
+const LinkParams& BandwidthModel::params(LinkLevel level) const {
+  switch (level) {
+    case LinkLevel::kSelf:
+    case LinkLevel::kL1: return l1_;
+    case LinkLevel::kL2: return l2_;
+    case LinkLevel::kL3: return l3_;
+    case LinkLevel::kL4: return l4_;
+  }
+  throw InvalidArgument("unknown link level");
+}
+
+void BandwidthModel::set_params(LinkLevel level, const LinkParams& params) {
+  switch (level) {
+    case LinkLevel::kSelf:
+    case LinkLevel::kL1: l1_ = params; return;
+    case LinkLevel::kL2: l2_ = params; return;
+    case LinkLevel::kL3: l3_ = params; return;
+    case LinkLevel::kL4: l4_ = params; return;
+  }
+  throw InvalidArgument("unknown link level");
+}
+
+BytesPerSecond BandwidthModel::bandwidth_for(const LinkParams& p, Bytes size) {
+  // Simple saturation curve: bw(size) = peak * size / (size + half_peak_size).
+  const double s = static_cast<double>(size);
+  const double h = static_cast<double>(p.half_peak_size);
+  if (s <= 0.0) return 0.0;
+  return p.peak_bandwidth * s / (s + h);
+}
+
+Seconds BandwidthModel::time_for(const LinkParams& p, Bytes size) {
+  if (size == 0) return p.latency;
+  return p.latency + static_cast<double>(size) / bandwidth_for(p, size);
+}
+
+BytesPerSecond BandwidthModel::effective_bandwidth(LinkLevel level, Bytes size) const {
+  if (level == LinkLevel::kSelf) return gib_per_sec(500.0);  // on-device copy
+  return bandwidth_for(params(level), size);
+}
+
+Seconds BandwidthModel::transfer_time(LinkLevel level, Bytes size) const {
+  if (level == LinkLevel::kSelf) {
+    return static_cast<double>(size) / gib_per_sec(500.0);
+  }
+  return time_for(params(level), size);
+}
+
+Seconds BandwidthModel::control_transfer_time(Bytes size) const {
+  return time_for(control_, size);
+}
+
+BytesPerSecond BandwidthModel::measured_bandwidth(LinkLevel level, Bytes size) const {
+  const Seconds t = transfer_time(level, size);
+  if (t <= 0.0) return 0.0;
+  return static_cast<double>(size) / t;
+}
+
+Seconds BandwidthModel::host_device_copy_time(Bytes size) const {
+  return time_for(host_device_, size);
+}
+
+}  // namespace elan::topo

@@ -1,0 +1,68 @@
+#include "topology/printer.h"
+
+#include <sstream>
+
+namespace elan::topo {
+
+namespace {
+
+const char* short_label(LinkLevel level) {
+  switch (level) {
+    case LinkLevel::kSelf: return " X ";
+    case LinkLevel::kL1: return "P2P";
+    case LinkLevel::kL2: return "SHM";
+    case LinkLevel::kL3: return "QPI";
+    case LinkLevel::kL4: return "NET";
+  }
+  return " ? ";
+}
+
+}  // namespace
+
+std::string link_matrix(const Topology& topology, std::vector<GpuId> gpus) {
+  if (gpus.empty()) gpus = topology.gpus_on_node(0);
+  std::ostringstream os;
+  os << "      ";
+  for (auto g : gpus) os << "GPU" << g << (g < 10 ? "  " : " ");
+  os << "\n";
+  for (auto a : gpus) {
+    os << "GPU" << a << (a < 10 ? "  " : " ") << " ";
+    for (auto b : gpus) {
+      os << short_label(topology.link_level(a, b)) << "   ";
+    }
+    os << "\n";
+  }
+  return os.str();
+}
+
+std::string legend() {
+  return "  X   = same device\n"
+         "  P2P = L1: traverses only PCIe switches (GPU peer-to-peer DMA)\n"
+         "  SHM = L2: traverses a PCIe host bridge (bounce via host memory)\n"
+         "  QPI = L3: traverses the socket interconnect\n"
+         "  NET = L4: traverses the network (InfiniBand)\n";
+}
+
+std::string tree(const Topology& topology) {
+  std::ostringstream os;
+  const auto& spec = topology.spec();
+  for (int n = 0; n < spec.nodes; ++n) {
+    os << "node" << n << "\n";
+    for (int s = 0; s < spec.sockets_per_node; ++s) {
+      os << "  socket" << s << "\n";
+      for (int b = 0; b < spec.bridges_per_socket; ++b) {
+        os << "    host-bridge" << b << "\n";
+        for (int w = 0; w < spec.switches_per_bridge; ++w) {
+          os << "      pcie-switch" << w << ":";
+          for (int g = 0; g < spec.gpus_per_switch; ++g) {
+            os << " GPU" << topology.gpu_at(GpuLocation{n, s, b, w, g});
+          }
+          os << "\n";
+        }
+      }
+    }
+  }
+  return os.str();
+}
+
+}  // namespace elan::topo

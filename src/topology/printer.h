@@ -1,0 +1,21 @@
+// Topology pretty-printer (nvidia-smi topo -m style).
+#pragma once
+
+#include <string>
+
+#include "topology/topology.h"
+
+namespace elan::topo {
+
+/// Renders the GPU-to-GPU link-level matrix for the given GPUs (defaults to
+/// the first node's GPUs when `gpus` is empty), in the style of
+/// `nvidia-smi topo -m`: SELF / L1(P2P) / L2(SHM) / L3(QPI) / L4(NET).
+std::string link_matrix(const Topology& topology, std::vector<GpuId> gpus = {});
+
+/// One-line-per-level legend describing what each level means physically.
+std::string legend();
+
+/// A tree rendering of the whole cluster: nodes, sockets, switches, GPUs.
+std::string tree(const Topology& topology);
+
+}  // namespace elan::topo

@@ -1,0 +1,145 @@
+#include "train/convergence.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace elan::train {
+
+int ConvergenceResult::epochs_to_accuracy(double target) const {
+  for (std::size_t e = 0; e < accuracy.size(); ++e) {
+    if (accuracy[e] >= target) return static_cast<int>(e);
+  }
+  return -1;
+}
+
+double ConvergenceModel::ceiling(int total_batch, double lr, double scale_ratio) const {
+  require(total_batch > 0 && lr > 0.0, "ceiling: bad operating point");
+  require(scale_ratio > 0.0, "ceiling: bad scale ratio");
+  const auto& p = params_;
+  const double nu = (lr / total_batch) / (p.base_lr / p.base_batch);
+  double c = p.max_accuracy - p.noise_ceiling_coef * std::sqrt(nu);
+
+  // Linear-scaling ratio: 1 when the LR tracks the batch size.
+  const double r = scale_ratio;
+  if (r < 1.0) {
+    c -= p.under_scale_coef * std::log2(1.0 / r);
+  } else if (r > 1.0) {
+    const double l = std::log2(r);
+    c -= p.over_scale_coef * l * l;
+  }
+
+  if (total_batch > p.critical_batch) {
+    const double l = std::log2(static_cast<double>(total_batch) / p.critical_batch);
+    c -= p.large_batch_coef * l * l;
+  }
+  return std::max(0.0, c);
+}
+
+ConvergenceResult ConvergenceModel::simulate(const std::vector<EpochPlan>& plan) const {
+  require(!plan.empty(), "simulate: empty plan");
+  const auto& p = params_;
+  ConvergenceResult result;
+  result.accuracy.reserve(plan.size());
+  double acc = 0.0;
+
+  for (const auto& e : plan) {
+    require(e.total_batch > 0 && e.lr > 0.0, "simulate: bad epoch plan");
+
+    if (e.lr_jump > 1.0) {
+      const double jump = std::log2(e.lr_jump);
+      if (e.ramped) {
+        // Progressive linear scaling (Eq. 3): the transient scales with the
+        // ramp's share of the epoch — negligible for the paper's T=100.
+        const double iters_per_epoch =
+            static_cast<double>(p.dataset_samples) / e.total_batch;
+        const double frac = std::min(1.0, e.ramp_iterations / std::max(1.0, iters_per_epoch));
+        acc -= p.sharp_jump_coef * jump * frac * 0.5;
+      } else {
+        acc -= p.sharp_jump_coef * jump;
+        if (e.lr_jump >= p.divergence_jump) result.diverged = true;
+      }
+      acc = std::max(0.0, acc);
+    }
+
+    if (result.diverged) {
+      // A diverged run hovers near chance level.
+      acc = std::min(acc, 0.05);
+      result.accuracy.push_back(acc);
+      continue;
+    }
+
+    const double c = ceiling(e.total_batch, e.lr, e.scale_ratio);
+    acc += p.rate_per_epoch * (c - acc);
+    acc = std::clamp(acc, 0.0, 1.0);
+    result.accuracy.push_back(acc);
+  }
+  return result;
+}
+
+std::vector<EpochPlan> ConvergenceModel::reference_recipe(
+    int total_batch, int epochs, const std::vector<int>& decay_epochs) const {
+  const auto& p = params_;
+  std::vector<EpochPlan> plan;
+  plan.reserve(static_cast<std::size_t>(epochs));
+  const double lr0 = p.base_lr * static_cast<double>(total_batch) / p.base_batch;
+  for (int e = 0; e < epochs; ++e) {
+    double lr = lr0;
+    for (int d : decay_epochs) {
+      if (e >= d) lr *= 0.1;
+    }
+    EpochPlan ep;
+    ep.total_batch = total_batch;
+    ep.lr = lr;
+    plan.push_back(ep);
+  }
+  return plan;
+}
+
+double ConvergenceModel::final_accuracy(int total_batch, double lr0, int epochs,
+                                        const std::vector<int>& decay_epochs,
+                                        double decay) const {
+  const double ratio =
+      lr0 / (params_.base_lr * static_cast<double>(total_batch) / params_.base_batch);
+  std::vector<EpochPlan> plan;
+  plan.reserve(static_cast<std::size_t>(epochs));
+  for (int e = 0; e < epochs; ++e) {
+    double lr = lr0;
+    for (int d : decay_epochs) {
+      if (e >= d) lr *= decay;
+    }
+    EpochPlan ep;
+    ep.total_batch = total_batch;
+    ep.lr = lr;
+    ep.scale_ratio = ratio;
+    plan.push_back(ep);
+  }
+  return simulate(plan).final_accuracy();
+}
+
+ConvergenceModel ConvergenceModel::resnet50_imagenet() {
+  ConvergenceParams p;
+  p.base_lr = 0.1;
+  p.base_batch = 256;
+  p.max_accuracy = 0.7669;  // yields 75.89% with the reference recipe
+  p.noise_ceiling_coef = 0.08;
+  p.rate_per_epoch = 0.18;
+  p.critical_batch = 2048;
+  p.dataset_samples = data::imagenet().num_samples;
+  return ConvergenceModel(p);
+}
+
+ConvergenceModel ConvergenceModel::mobilenet_cifar100() {
+  ConvergenceParams p;
+  p.base_lr = 0.05;
+  p.base_batch = 128;
+  p.max_accuracy = 0.7510;
+  p.noise_ceiling_coef = 0.095;
+  p.under_scale_coef = 0.018;
+  p.large_batch_coef = 0.008;
+  p.critical_batch = 2048;
+  p.rate_per_epoch = 0.22;
+  p.dataset_samples = data::cifar100().num_samples;
+  return ConvergenceModel(p);
+}
+
+}  // namespace elan::train

@@ -1,0 +1,72 @@
+#include "train/engine.h"
+
+#include "common/error.h"
+
+namespace elan::train {
+
+const char* to_string(EngineKind kind) {
+  switch (kind) {
+    case EngineKind::kStaticGraph: return "static-graph";
+    case EngineKind::kDynamicGraph: return "dynamic-graph";
+    case EngineKind::kCustom: return "custom";
+  }
+  return "?";
+}
+
+void TrainingEngine::run_iteration(std::uint64_t gradient_seed, double lr,
+                                   const data::SampleRange& shard) {
+  compute_gradients(gradient_seed, shard);
+  apply_update(gradient_seed, lr);
+  bump_iteration();
+}
+
+void SimulatedEngine::register_state_hooks(HookRegistry& registry) {
+  // Model parameters and optimizer state live in GPU memory (Table II).
+  registry.register_hook(StateHook{
+      "model", StateLocation::kGpu, optimizer_.nominal_parameter_bytes(),
+      [this] { return optimizer_.parameters(); },
+      [this](const Blob& b) { optimizer_.mutable_parameters().copy_from(b); }});
+  registry.register_hook(StateHook{
+      "optimizer", StateLocation::kGpu, optimizer_.nominal_optimizer_bytes(),
+      [this] { return optimizer_.momentum(); },
+      [this](const Blob& b) { optimizer_.mutable_momentum().copy_from(b); }});
+}
+
+void SimulatedEngine::apply_update(std::uint64_t gradient_seed, double lr) {
+  // The mixing optimizer has no real LR; fold it into the seed so an LR
+  // change still perturbs state deterministically and identically across
+  // replicas.
+  const auto lr_bits = static_cast<std::uint64_t>(lr * 1e12);
+  optimizer_.step(gradient_seed ^ (lr_bits * 0x9e3779b97f4a7c15ULL));
+}
+
+std::uint64_t SimulatedEngine::state_checksum() const {
+  return optimizer_.state_checksum();
+}
+
+Seconds StaticGraphEngine::initialization_time() const {
+  // Library load + CUDA context + graph compilation; large models compile
+  // longer.
+  return 5.0 + 1.0e-8 * static_cast<double>(model().parameters);
+}
+
+Seconds StaticGraphEngine::per_iteration_overhead() const { return milliseconds(2.0); }
+
+Seconds DynamicGraphEngine::initialization_time() const {
+  // Library load + CUDA context; no graph compilation step.
+  return 3.5;
+}
+
+Seconds DynamicGraphEngine::per_iteration_overhead() const { return milliseconds(6.0); }
+
+std::unique_ptr<TrainingEngine> make_engine(const ModelSpec& model, EngineKind kind) {
+  switch (kind) {
+    case EngineKind::kStaticGraph: return std::make_unique<StaticGraphEngine>(model);
+    case EngineKind::kDynamicGraph: return std::make_unique<DynamicGraphEngine>(model);
+    case EngineKind::kCustom:
+      throw InvalidArgument("custom engines come from JobConfig::engine_factory");
+  }
+  throw InvalidArgument("unknown engine kind");
+}
+
+}  // namespace elan::train

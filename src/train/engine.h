@@ -1,0 +1,136 @@
+// Training-engine interface and the two cost-modelled engines.
+//
+// The paper demonstrates Elan's generality by integrating it with Caffe
+// (static execution graph) and PyTorch (dynamic eager execution) through the
+// same hook API. TrainingEngine is that integration surface inside this
+// repository: a worker process drives any engine through
+//
+//   register_state_hooks()  — expose all state that must survive adjustments
+//   compute_gradients()     — local forward/backward on this replica's shard
+//   mutable_gradients()     — optional flat gradient buffer; when provided,
+//                             the job allreduces it across replicas before
+//   apply_update()          — optimizer step (identical on every replica)
+//
+// StaticGraphEngine / DynamicGraphEngine are cost-modelled engines whose
+// state evolves through a deterministic mixing function (replication
+// correctness is checkable without real math); minidl::MiniDlEngine
+// (src/minidl/elan_engine.h) is a third implementation doing *real* math.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/units.h"
+#include "data/sampler.h"
+#include "elan/hooks.h"
+#include "train/models.h"
+#include "train/optimizer.h"
+
+namespace elan::train {
+
+enum class EngineKind { kStaticGraph, kDynamicGraph, kCustom };
+
+const char* to_string(EngineKind kind);
+
+class TrainingEngine {
+ public:
+  explicit TrainingEngine(EngineKind kind) : kind_(kind) {}
+  virtual ~TrainingEngine() = default;
+
+  TrainingEngine(const TrainingEngine&) = delete;
+  TrainingEngine& operator=(const TrainingEngine&) = delete;
+
+  EngineKind kind() const { return kind_; }
+
+  /// Framework initialisation cost paid by a freshly started worker process
+  /// (CUDA context, library load, graph compilation...). This is what the
+  /// asynchronous coordination mechanism hides off the critical path.
+  virtual Seconds initialization_time() const = 0;
+
+  /// Host-side overhead added to every iteration on top of the modelled
+  /// kernel time (dispatcher/executor cost).
+  virtual Seconds per_iteration_overhead() const = 0;
+
+  /// Registers every piece of engine state that replication/checkpointing
+  /// must carry (paper Table II: model + optimizer, GPU-resident).
+  virtual void register_state_hooks(HookRegistry& registry) = 0;
+
+  /// Local forward/backward over this replica's data shard. `gradient_seed`
+  /// is identical across replicas of an iteration (it encodes the globally
+  /// agreed data assignment).
+  virtual void compute_gradients(std::uint64_t gradient_seed,
+                                 const data::SampleRange& shard) = 0;
+
+  /// Flat gradient buffer for cross-replica reduction, or nullptr when the
+  /// engine is self-contained (the cost-modelled engines synchronise through
+  /// the shared seed instead).
+  virtual std::vector<double>* mutable_gradients() { return nullptr; }
+
+  /// Applies the optimizer update (after any gradient reduction) with the
+  /// runtime learning rate. Must be deterministic given identical state.
+  virtual void apply_update(std::uint64_t gradient_seed, double lr) = 0;
+
+  /// Replica fingerprint over all engine state (the iteration counter is
+  /// folded in by the worker).
+  virtual std::uint64_t state_checksum() const = 0;
+
+  /// Convenience: one full local iteration (compute + apply); used by unit
+  /// tests and single-replica callers.
+  void run_iteration(std::uint64_t gradient_seed, double lr = 0.1,
+                     const data::SampleRange& shard = {});
+
+  std::uint64_t iteration() const { return iteration_; }
+  void set_iteration(std::uint64_t it) { iteration_ = it; }
+  void bump_iteration() { ++iteration_; }
+
+ private:
+  EngineKind kind_;
+  std::uint64_t iteration_ = 0;
+};
+
+/// Base for the two cost-modelled engines: state is an SgdOptimizer over
+/// blobs that evolve via a history-dependent mixing function.
+class SimulatedEngine : public TrainingEngine {
+ public:
+  SimulatedEngine(const ModelSpec& model, EngineKind kind)
+      : TrainingEngine(kind), model_(model), optimizer_(model) {}
+
+  const ModelSpec& model() const { return model_; }
+  SgdOptimizer& optimizer() { return optimizer_; }
+  const SgdOptimizer& optimizer() const { return optimizer_; }
+
+  void register_state_hooks(HookRegistry& registry) override;
+  void compute_gradients(std::uint64_t, const data::SampleRange&) override {}
+  void apply_update(std::uint64_t gradient_seed, double lr) override;
+  std::uint64_t state_checksum() const override;
+
+ private:
+  ModelSpec model_;
+  SgdOptimizer optimizer_;
+};
+
+/// Caffe-like: the graph is compiled at startup, making init expensive and
+/// iterations lean.
+class StaticGraphEngine final : public SimulatedEngine {
+ public:
+  explicit StaticGraphEngine(const ModelSpec& model)
+      : SimulatedEngine(model, EngineKind::kStaticGraph) {}
+  Seconds initialization_time() const override;
+  Seconds per_iteration_overhead() const override;
+};
+
+/// PyTorch-like: eager execution starts faster but pays dispatcher overhead
+/// every iteration.
+class DynamicGraphEngine final : public SimulatedEngine {
+ public:
+  explicit DynamicGraphEngine(const ModelSpec& model)
+      : SimulatedEngine(model, EngineKind::kDynamicGraph) {}
+  Seconds initialization_time() const override;
+  Seconds per_iteration_overhead() const override;
+};
+
+std::unique_ptr<TrainingEngine> make_engine(const ModelSpec& model, EngineKind kind);
+
+}  // namespace elan::train

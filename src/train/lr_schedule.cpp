@@ -1,0 +1,72 @@
+#include "train/lr_schedule.h"
+
+#include <algorithm>
+
+namespace elan::train {
+
+StepSchedule::StepSchedule(double base_lr, std::vector<std::uint64_t> milestone_iterations,
+                           double decay)
+    : base_lr_(base_lr), milestones_(std::move(milestone_iterations)), decay_(decay) {
+  require(base_lr_ > 0.0, "StepSchedule: base_lr must be positive");
+  require(decay_ > 0.0 && decay_ <= 1.0, "StepSchedule: decay must be in (0, 1]");
+  require(std::is_sorted(milestones_.begin(), milestones_.end()),
+          "StepSchedule: milestones must be sorted");
+}
+
+StepSchedule& StepSchedule::with_warmup(std::uint64_t warmup_iterations,
+                                        double start_fraction) {
+  require(start_fraction > 0.0 && start_fraction <= 1.0,
+          "with_warmup: start fraction must be in (0, 1]");
+  require(milestones_.empty() || warmup_iterations <= milestones_.front(),
+          "with_warmup: warmup must end before the first decay");
+  warmup_iterations_ = warmup_iterations;
+  warmup_start_fraction_ = start_fraction;
+  return *this;
+}
+
+double StepSchedule::lr(std::uint64_t iteration) const {
+  if (iteration < warmup_iterations_) {
+    const double frac =
+        static_cast<double>(iteration) / static_cast<double>(warmup_iterations_);
+    return base_lr_ * (warmup_start_fraction_ + frac * (1.0 - warmup_start_fraction_));
+  }
+  double lr = base_lr_;
+  for (auto m : milestones_) {
+    if (iteration >= m) lr *= decay_;
+  }
+  return lr;
+}
+
+void LrController::apply_scaling(double k, std::uint64_t t0, std::uint64_t ramp_iterations) {
+  require(k > 0.0, "apply_scaling: k must be positive");
+  // Settle any previous ramp at its target before composing a new one; the
+  // coordination mechanism spaces adjustments further apart than T in
+  // practice, so this is a conservative simplification.
+  settled_scale_ *= pending_factor_;
+  pending_factor_ = k;
+  ramp_start_ = t0;
+  ramp_length_ = ramp_iterations;
+  if (k == 1.0 || ramp_iterations == 0) {
+    settled_scale_ *= pending_factor_;
+    pending_factor_ = 1.0;
+  }
+}
+
+bool LrController::ramp_active(std::uint64_t t) const {
+  return pending_factor_ != 1.0 && t < ramp_start_ + ramp_length_;
+}
+
+double LrController::lr(std::uint64_t t) const {
+  const double base = base_.lr(t);
+  const double lr0 = base * settled_scale_;
+  if (pending_factor_ == 1.0) return lr0;
+  const double lr_target = lr0 * pending_factor_;
+  if (t >= ramp_start_ + ramp_length_) return lr_target;
+  if (t < ramp_start_) return lr0;
+  // Eq. 3: lr_t = lr_0 + (t - T0)/T * (lr_T - lr_0).
+  const double frac =
+      static_cast<double>(t - ramp_start_) / static_cast<double>(ramp_length_);
+  return lr0 + frac * (lr_target - lr0);
+}
+
+}  // namespace elan::train

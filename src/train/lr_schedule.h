@@ -1,0 +1,70 @@
+// Learning-rate schedules.
+//
+// StepSchedule is the standard step-decay base schedule. LrController owns
+// the *runtime* learning rate of an elastic job: it applies the base schedule
+// and, on top of it, the hybrid scaling mechanism's progressive linear
+// scaling rule (paper Eq. 2-3 / Algorithm 1 GETLEARNINGRATE): when the total
+// batch size is scaled by k, the target LR is scaled by k and approached
+// linearly over T iterations starting at T0.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/error.h"
+
+namespace elan::train {
+
+/// lr(iteration) = base_lr * decay^(#milestones passed), optionally preceded
+/// by a linear warmup from warmup_start_fraction * base_lr over the first
+/// warmup_iterations (the gradual-warmup scheme of large-batch training,
+/// which §VII cites as the manual cousin of progressive linear scaling).
+class StepSchedule {
+ public:
+  StepSchedule(double base_lr, std::vector<std::uint64_t> milestone_iterations,
+               double decay = 0.1);
+
+  /// Adds a linear warmup phase. Returns *this for chaining.
+  StepSchedule& with_warmup(std::uint64_t warmup_iterations,
+                            double start_fraction = 0.1);
+
+  double lr(std::uint64_t iteration) const;
+  double base_lr() const { return base_lr_; }
+  std::uint64_t warmup_iterations() const { return warmup_iterations_; }
+
+ private:
+  double base_lr_;
+  std::vector<std::uint64_t> milestones_;
+  double decay_;
+  std::uint64_t warmup_iterations_ = 0;
+  double warmup_start_fraction_ = 0.1;
+};
+
+/// Runtime LR controller with progressive linear scaling.
+class LrController {
+ public:
+  explicit LrController(StepSchedule base) : base_(std::move(base)) {}
+
+  /// Applies a batch-size scaling factor k at iteration t0: the LR target
+  /// becomes k times the current scale, approached linearly over
+  /// `ramp_iterations` iterations (paper Eq. 3). Multiple adjustments
+  /// compose (scales multiply).
+  void apply_scaling(double k, std::uint64_t t0, std::uint64_t ramp_iterations);
+
+  /// The learning rate at iteration t (GETLEARNINGRATE in Algorithm 1).
+  double lr(std::uint64_t t) const;
+
+  /// The cumulative batch-scale factor applied so far.
+  double scale() const { return settled_scale_ * pending_factor_; }
+
+  bool ramp_active(std::uint64_t t) const;
+
+ private:
+  StepSchedule base_;
+  double settled_scale_ = 1.0;   // product of fully-ramped factors
+  double pending_factor_ = 1.0;  // factor currently ramping (1 = none)
+  std::uint64_t ramp_start_ = 0;
+  std::uint64_t ramp_length_ = 0;
+};
+
+}  // namespace elan::train

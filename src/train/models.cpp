@@ -1,0 +1,132 @@
+#include "train/models.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+
+namespace elan::train {
+
+Bytes ModelSpec::scaled_blob_bytes(Bytes n) {
+  // 1/16384 of nominal with a 2 KiB floor keeps 64-worker simulations cheap
+  // while still moving enough real bytes for checksum-based verification.
+  return std::max<Bytes>(2_KiB, n >> 14);
+}
+
+ModelSpec resnet50() {
+  ModelSpec m;
+  m.kind = ModelKind::kResNet50;
+  m.name = "ResNet-50";
+  m.type = "CNN";
+  m.domain = "CV";
+  m.parameters = 25'557'032;
+  m.flops_per_sample = 3.9e9;
+  m.dataset = data::imagenet();
+  m.max_batch_per_gpu = 128;
+  m.half_efficiency_batch = 10.0;
+  m.iteration_overhead = milliseconds(9.0);
+  m.reference_accuracy = 0.7589;  // paper §VI-B: 75.89% with 512 (16)
+  m.workspace_per_sample = 70_MiB;
+  return m;
+}
+
+ModelSpec vgg19() {
+  ModelSpec m;
+  m.kind = ModelKind::kVgg19;
+  m.name = "VGG-19";
+  m.type = "CNN";
+  m.domain = "CV";
+  m.parameters = 143'667'240;  // Table I: 143M
+  m.flops_per_sample = 19.6e9;
+  m.dataset = data::imagenet();
+  m.max_batch_per_gpu = 64;
+  m.half_efficiency_batch = 4.0;  // huge kernels saturate the GPU quickly
+  m.iteration_overhead = milliseconds(7.0);
+  m.reference_accuracy = 0.7248;
+  m.workspace_per_sample = 140_MiB;
+  return m;
+}
+
+ModelSpec mobilenet_v2() {
+  ModelSpec m;
+  m.kind = ModelKind::kMobileNetV2;
+  m.name = "MobileNet-v2";
+  m.type = "CNN";
+  m.domain = "CV";
+  m.parameters = 3'504'872;  // Table I: 3M
+  m.flops_per_sample = 0.33e9;
+  m.dataset = data::imagenet();
+  m.max_batch_per_gpu = 256;
+  m.half_efficiency_batch = 48.0;  // small kernels need large batches
+  m.iteration_overhead = milliseconds(11.0);
+  m.reference_accuracy = 0.7186;
+  m.workspace_per_sample = 36_MiB;
+  return m;
+}
+
+ModelSpec mobilenet_v2_cifar() {
+  ModelSpec m = mobilenet_v2();
+  m.name = "MobileNet-v2/Cifar100";
+  m.dataset = data::cifar100();
+  m.flops_per_sample = 0.09e9;      // 32x32 inputs
+  m.workspace_per_sample = 1_MiB;   // tiny activations at 32x32
+  m.max_batch_per_gpu = 1024;
+  m.reference_accuracy = 0.7410;  // Figure 5 baseline region
+  return m;
+}
+
+ModelSpec seq2seq() {
+  ModelSpec m;
+  m.kind = ModelKind::kSeq2Seq;
+  m.name = "Seq2Seq";
+  m.type = "RNN";
+  m.domain = "NLP";
+  m.parameters = 45'000'000;  // Table I: 45M
+  m.flops_per_sample = 2.4e9;
+  m.dataset = data::tatoeba();
+  m.max_batch_per_gpu = 256;
+  m.half_efficiency_batch = 24.0;  // sequential cells limit utilisation
+  m.iteration_overhead = milliseconds(18.0);  // per-timestep launches
+  m.reference_accuracy = 0.0;  // BLEU-style metric, unused in accuracy figs
+  m.workspace_per_sample = 36_MiB;
+  return m;
+}
+
+ModelSpec transformer() {
+  ModelSpec m;
+  m.kind = ModelKind::kTransformer;
+  m.name = "Transformer";
+  m.type = "Attention";
+  m.domain = "NLP";
+  m.parameters = 47'000'000;  // Table I: 47M
+  m.flops_per_sample = 3.2e9;
+  m.dataset = data::wmt16();
+  m.max_batch_per_gpu = 64;
+  m.half_efficiency_batch = 16.0;
+  m.iteration_overhead = milliseconds(10.0);
+  m.reference_accuracy = 0.0;
+  m.workspace_fixed = 1_GiB;         // attention caches and fused-op workspaces
+  m.workspace_per_sample = 144_MiB;  // long-sequence attention activations
+  return m;
+}
+
+std::vector<ModelSpec> model_zoo() {
+  return {resnet50(), vgg19(), mobilenet_v2(), seq2seq(), transformer()};
+}
+
+const ModelSpec& model_by_kind(ModelKind kind) {
+  static const std::vector<ModelSpec> zoo = model_zoo();
+  for (const auto& m : zoo) {
+    if (m.kind == kind) return m;
+  }
+  throw NotFound("model kind");
+}
+
+ModelSpec model_by_name(const std::string& name) {
+  for (const auto& m : model_zoo()) {
+    if (m.name == name) return m;
+  }
+  if (name == "MobileNet-v2/Cifar100") return mobilenet_v2_cifar();
+  throw NotFound("model: " + name);
+}
+
+}  // namespace elan::train

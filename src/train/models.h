@@ -1,0 +1,78 @@
+// Model zoo (paper Table I plus ResNet-50, which the elastic-training
+// evaluation in §VI-B uses).
+//
+// Each spec carries the quantities the simulator needs: parameter count
+// (gradient/state sizes), compute cost per sample, per-GPU batch limits and
+// compute-efficiency shape. Real blobs allocated for a model are scaled down
+// from the nominal size (so a 64-worker simulation fits in laptop RAM) while
+// all *timing* uses nominal sizes.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/units.h"
+#include "data/dataset.h"
+
+namespace elan::train {
+
+enum class ModelKind { kResNet50, kVgg19, kMobileNetV2, kSeq2Seq, kTransformer };
+
+struct ModelSpec {
+  ModelKind kind{};
+  std::string name;
+  std::string type;    // CNN / RNN / Attention
+  std::string domain;  // CV / NLP
+  std::uint64_t parameters = 0;
+  double flops_per_sample = 0;  // forward FLOPs; backward costs ~2x forward
+  data::Dataset dataset;
+  int max_batch_per_gpu = 0;  // GPU memory limit
+  /// Batch size at which a single GPU reaches half of its peak efficiency;
+  /// smaller values mean the model saturates the GPU with small batches.
+  double half_efficiency_batch = 8.0;
+  /// Fixed per-iteration host-side overhead (kernel launches, Python glue).
+  Seconds iteration_overhead = milliseconds(8.0);
+  /// Activation/workspace memory model: a fixed part (cuDNN workspaces,
+  /// fragmentation reserve) plus a per-sample activation cost. Together with
+  /// the parameter/optimizer state this determines what fits on an 11 GiB
+  /// device — the physical basis of max_batch_per_gpu, of the scheduler's
+  /// min_res rule, and of the context volume Litz swaps over PCIe.
+  Bytes workspace_fixed = 512_MiB;
+  Bytes workspace_per_sample = 0;
+
+  /// Activations/workspace resident for a given per-GPU batch.
+  Bytes workspace_bytes(int per_gpu_batch) const {
+    return workspace_fixed + workspace_per_sample * static_cast<Bytes>(per_gpu_batch);
+  }
+  /// Baseline converged top-1 accuracy with the reference recipe.
+  double reference_accuracy = 0.0;
+
+  /// fp32 parameter bytes == gradient bytes == allreduce payload.
+  Bytes param_bytes() const { return parameters * 4; }
+  /// Momentum adds one more fp32 buffer per parameter.
+  Bytes optimizer_bytes() const { return parameters * 4; }
+  /// GPU-resident training state (parameters + optimizer).
+  Bytes gpu_state_bytes() const { return param_bytes() + optimizer_bytes(); }
+
+  /// Storage actually allocated for a nominal `n`-byte blob in simulation.
+  static Bytes scaled_blob_bytes(Bytes n);
+};
+
+/// Table I zoo + ResNet-50.
+ModelSpec resnet50();
+ModelSpec vgg19();
+ModelSpec mobilenet_v2();
+ModelSpec seq2seq();
+ModelSpec transformer();
+
+/// MobileNet-v2 retargeted to Cifar100 (Figure 5 experiment).
+ModelSpec mobilenet_v2_cifar();
+
+/// All five models used in the scaling-analysis figures (3, 4, 14, 15, 16).
+std::vector<ModelSpec> model_zoo();
+
+const ModelSpec& model_by_kind(ModelKind kind);
+ModelSpec model_by_name(const std::string& name);
+
+}  // namespace elan::train

@@ -1,0 +1,162 @@
+#include "transport/bus.h"
+
+#include <algorithm>
+
+#include "common/log.h"
+
+namespace elan::transport {
+
+MessageBus::MessageBus(sim::Simulator& simulator, const topo::BandwidthModel& bandwidth,
+                       BusParams params)
+    : sim_(simulator), bandwidth_(bandwidth), params_(params), rng_(params.seed) {}
+
+void MessageBus::attach(const std::string& name, Handler handler) {
+  require(static_cast<bool>(handler), "MessageBus::attach: empty handler");
+  handlers_[name] = std::move(handler);
+}
+
+void MessageBus::detach(const std::string& name) { handlers_.erase(name); }
+
+Seconds MessageBus::message_latency(Bytes payload_bytes) const {
+  return bandwidth_.control_transfer_time(payload_bytes + 128);  // + framing overhead
+}
+
+MessageId MessageBus::send(Message msg) {
+  if (msg.id == 0) msg.id = next_id_++;
+  ++stats_.sent;
+
+  auto forced = forced_drops_.find(msg.from);
+  const bool force_drop = forced != forced_drops_.end() && forced->second > 0;
+  if (force_drop) --forced->second;
+
+  if (force_drop || rng_.chance(params_.drop_probability)) {
+    ++stats_.dropped;
+    log_trace() << "bus: dropped " << msg.type << " " << msg.from << "->" << msg.to;
+    return msg.id;
+  }
+
+  Seconds latency = message_latency(msg.payload.size());
+  latency *= 1.0 + rng_.uniform(0.0, params_.jitter_fraction);
+
+  // Per-connection FIFO (ZeroMQ semantics): never deliver before an earlier
+  // message on the same (from, to) stream.
+  Seconds deliver_at = sim_.now() + latency;
+  auto& stream_clock = pair_clock_[{msg.from, msg.to}];
+  deliver_at = std::max(deliver_at, stream_clock);
+  stream_clock = deliver_at;
+
+  const MessageId id = msg.id;
+  sim_.schedule_at(deliver_at, [this, msg = std::move(msg)]() {
+    auto it = handlers_.find(msg.to);
+    if (it == handlers_.end()) {
+      ++stats_.to_unknown;
+      log_trace() << "bus: no endpoint " << msg.to << " for " << msg.type;
+      return;
+    }
+    ++stats_.delivered;
+    it->second(msg);
+  });
+  return id;
+}
+
+ReliableEndpoint::ReliableEndpoint(MessageBus& bus, std::string name, Handler handler,
+                                   Params params)
+    : bus_(bus), name_(std::move(name)), handler_(std::move(handler)), params_(params) {
+  require(static_cast<bool>(handler_), "ReliableEndpoint: empty handler");
+  restart();
+}
+
+ReliableEndpoint::~ReliableEndpoint() {
+  *alive_token_ = false;
+  if (alive_) bus_.detach(name_);
+}
+
+void ReliableEndpoint::shutdown() {
+  if (!alive_) return;
+  alive_ = false;
+  bus_.detach(name_);
+  for (auto& [id, p] : pending_) {
+    if (p.timer != 0) bus_.simulator().cancel(p.timer);
+    p.timer = 0;
+  }
+  pending_.clear();
+}
+
+void ReliableEndpoint::restart() {
+  if (alive_) return;
+  alive_ = true;
+  bus_.attach(name_, [this](const Message& msg) { on_raw(msg); });
+}
+
+MessageId ReliableEndpoint::send(const std::string& to, const std::string& type,
+                                 std::vector<std::uint8_t> payload) {
+  require(alive_, "ReliableEndpoint::send on dead endpoint " + name_);
+  Message msg;
+  msg.from = name_;
+  msg.to = to;
+  msg.type = type;
+  msg.payload = std::move(payload);
+  // Reserve the id without transmitting yet so Pending can record it first.
+  msg.id = bus_.allocate_id();
+  Pending p;
+  p.msg = std::move(msg);
+  const MessageId id = p.msg.id;
+  pending_.emplace(id, std::move(p));
+  transmit(id);
+  return id;
+}
+
+void ReliableEndpoint::transmit(MessageId id) {
+  auto it = pending_.find(id);
+  if (it == pending_.end()) return;
+  ++it->second.attempts;
+  if (it->second.attempts > 1) ++retries_;
+  bus_.send(it->second.msg);
+  arm_timer(id);
+}
+
+void ReliableEndpoint::arm_timer(MessageId id) {
+  auto token = alive_token_;
+  auto& p = pending_.at(id);
+  p.timer = bus_.simulator().schedule(params_.ack_timeout, [this, token, id]() {
+    if (!*token) return;
+    auto it = pending_.find(id);
+    if (it == pending_.end() || !alive_) return;
+    it->second.timer = 0;
+    if (it->second.attempts >= params_.max_retries) {
+      ++gave_up_;
+      log_warn() << name_ << ": giving up on message " << id << " to " << it->second.msg.to;
+      pending_.erase(it);
+      return;
+    }
+    transmit(id);
+  });
+}
+
+void ReliableEndpoint::on_raw(const Message& msg) {
+  if (msg.is_ack) {
+    auto it = pending_.find(msg.ack_of);
+    if (it != pending_.end()) {
+      if (it->second.timer != 0) bus_.simulator().cancel(it->second.timer);
+      pending_.erase(it);
+    }
+    return;
+  }
+
+  // Ack everything, including duplicates (the first ack may have been lost).
+  Message ack;
+  ack.from = name_;
+  ack.to = msg.from;
+  ack.type = "ack";
+  ack.is_ack = true;
+  ack.ack_of = msg.id;
+  bus_.send(std::move(ack));
+
+  if (!seen_.insert(msg.id).second) {
+    log_trace() << name_ << ": duplicate message " << msg.id << " suppressed";
+    return;
+  }
+  handler_(msg);
+}
+
+}  // namespace elan::transport

@@ -1,0 +1,147 @@
+// In-simulation message bus with ZeroMQ-like semantics.
+//
+// The raw bus is *unreliable*: messages take latency proportional to their
+// size on the control (Ethernet) network, can be dropped by fault injection,
+// and are silently lost when the destination endpoint is disconnected.
+// ReliableEndpoint layers unique message ids, acknowledgements, timeouts and
+// resends on top — exactly the fault-tolerance story of paper §V-D.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/units.h"
+#include "sim/simulator.h"
+#include "topology/bandwidth.h"
+#include "transport/message.h"
+
+namespace elan::transport {
+
+struct BusParams {
+  /// Probability that any given (non-injected) message is lost in flight.
+  double drop_probability = 0.0;
+  /// Extra random latency jitter as a fraction of base latency.
+  double jitter_fraction = 0.1;
+  std::uint64_t seed = 7;
+};
+
+/// Statistics for tests and benches.
+struct BusStats {
+  std::uint64_t sent = 0;
+  std::uint64_t delivered = 0;
+  std::uint64_t dropped = 0;
+  std::uint64_t to_unknown = 0;
+};
+
+class MessageBus {
+ public:
+  using Handler = std::function<void(const Message&)>;
+
+  MessageBus(sim::Simulator& simulator, const topo::BandwidthModel& bandwidth,
+             BusParams params = {});
+
+  /// Registers (or re-registers after a disconnect) an endpoint.
+  void attach(const std::string& name, Handler handler);
+
+  /// Removes an endpoint; in-flight messages to it are lost (ZeroMQ peer
+  /// restart). Safe to call for unknown names.
+  void detach(const std::string& name);
+
+  bool attached(const std::string& name) const { return handlers_.count(name) > 0; }
+
+  /// Sends unreliably. Assigns a fresh id if msg.id == 0. Returns the id.
+  MessageId send(Message msg);
+
+  /// Reserves a globally unique message id without sending anything.
+  MessageId allocate_id() { return next_id_++; }
+
+  /// Latency the bus would charge for a message of `payload_bytes`.
+  Seconds message_latency(Bytes payload_bytes) const;
+
+  const BusStats& stats() const { return stats_; }
+  sim::Simulator& simulator() { return sim_; }
+
+  /// Fault injection: force-drop the next `n` messages sent from `from` (any
+  /// destination). Used by fault-tolerance tests.
+  void inject_drops(const std::string& from, int n) { forced_drops_[from] += n; }
+
+ private:
+  sim::Simulator& sim_;
+  const topo::BandwidthModel& bandwidth_;
+  BusParams params_;
+  Rng rng_;
+  MessageId next_id_ = 1;
+  std::map<std::string, Handler> handlers_;
+  std::map<std::string, int> forced_drops_;
+  /// ZeroMQ guarantees per-connection ordering: jitter must not let a later
+  /// message between the same (from, to) pair overtake an earlier one.
+  std::map<std::pair<std::string, std::string>, Seconds> pair_clock_;
+  BusStats stats_;
+};
+
+struct ReliableParams {
+  Seconds ack_timeout = milliseconds(50.0);
+  int max_retries = 100;  // ZeroMQ keeps trying to reconnect; bounded for sim hygiene
+};
+
+/// Reliable messaging endpoint: unique ids, ack, timeout-based resend and
+/// receiver-side de-duplication.
+class ReliableEndpoint {
+ public:
+  using Handler = std::function<void(const Message&)>;
+  using Params = ReliableParams;
+
+  ReliableEndpoint(MessageBus& bus, std::string name, Handler handler,
+                   ReliableParams params = ReliableParams());
+  ~ReliableEndpoint();
+
+  ReliableEndpoint(const ReliableEndpoint&) = delete;
+  ReliableEndpoint& operator=(const ReliableEndpoint&) = delete;
+
+  const std::string& name() const { return name_; }
+
+  /// Sends reliably: retries until acked or max_retries exceeded.
+  MessageId send(const std::string& to, const std::string& type,
+                 std::vector<std::uint8_t> payload = {});
+
+  /// Detach from the bus (simulates process death); pending retries stop.
+  void shutdown();
+
+  /// Re-attach after shutdown (simulates restart). Duplicate suppression
+  /// state is intentionally kept: message ids are globally unique.
+  void restart();
+
+  std::uint64_t retries() const { return retries_; }
+  std::uint64_t gave_up() const { return gave_up_; }
+
+ private:
+  struct Pending {
+    Message msg;
+    int attempts = 0;
+    sim::EventId timer = 0;
+  };
+
+  MessageBus& bus_;
+  std::string name_;
+  Handler handler_;
+  Params params_;
+  bool alive_ = false;
+  std::map<MessageId, Pending> pending_;
+  std::set<MessageId> seen_;  // receiver-side dedup of delivered app messages
+  std::uint64_t retries_ = 0;
+  std::uint64_t gave_up_ = 0;
+  // Guards callbacks that may fire after destruction.
+  std::shared_ptr<bool> alive_token_ = std::make_shared<bool>(true);
+
+  void on_raw(const Message& msg);
+  void transmit(MessageId id);
+  void arm_timer(MessageId id);
+};
+
+}  // namespace elan::transport

@@ -1,0 +1,42 @@
+#include "transport/kv_store.h"
+
+namespace elan::transport {
+
+void KvStore::put(const std::string& key, std::vector<std::uint8_t> value,
+                  std::function<void()> done) {
+  put_now(key, std::move(value));
+  if (done) sim_.schedule(params_.put_latency, std::move(done));
+}
+
+void KvStore::get(const std::string& key,
+                  std::function<void(std::optional<std::vector<std::uint8_t>>)> done) const {
+  auto value = get_now(key);
+  sim_.schedule(params_.get_latency, [done = std::move(done), value = std::move(value)]() {
+    done(value);
+  });
+}
+
+std::optional<std::vector<std::uint8_t>> KvStore::get_now(const std::string& key) const {
+  ++gets_;
+  auto it = data_.find(key);
+  if (it == data_.end()) return std::nullopt;
+  return it->second;
+}
+
+void KvStore::put_now(const std::string& key, std::vector<std::uint8_t> value) {
+  ++puts_;
+  data_[key] = std::move(value);
+}
+
+bool KvStore::erase(const std::string& key) { return data_.erase(key) > 0; }
+
+std::vector<std::string> KvStore::keys_with_prefix(const std::string& prefix) const {
+  std::vector<std::string> out;
+  for (auto it = data_.lower_bound(prefix); it != data_.end(); ++it) {
+    if (it->first.compare(0, prefix.size(), prefix) != 0) break;
+    out.push_back(it->first);
+  }
+  return out;
+}
+
+}  // namespace elan::transport

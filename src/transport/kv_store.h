@@ -1,0 +1,63 @@
+// Simulated distributed key-value store (etcd-like).
+//
+// The application master persists its state machine here after every
+// transition (paper §V-D: "we save the state machine on distributed storage
+// ... we deploy Elan in a Kubernetes cluster, so we save it on etcd").
+//
+// Data survives AM crashes by construction (the store lives outside the AM).
+// Operation latency models a Raft quorum round trip; callers receive results
+// through the simulator so timing is accounted for.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/units.h"
+#include "sim/simulator.h"
+
+namespace elan::transport {
+
+struct KvParams {
+  Seconds put_latency = milliseconds(2.0);   // quorum write
+  Seconds get_latency = milliseconds(0.8);   // leader read
+};
+
+class KvStore {
+ public:
+  explicit KvStore(sim::Simulator& simulator, KvParams params = {})
+      : sim_(simulator), params_(params) {}
+
+  /// Asynchronous durable put; `done` fires after the quorum latency.
+  void put(const std::string& key, std::vector<std::uint8_t> value,
+           std::function<void()> done = nullptr);
+
+  /// Asynchronous get; `done` receives nullopt if the key is absent.
+  void get(const std::string& key,
+           std::function<void(std::optional<std::vector<std::uint8_t>>)> done) const;
+
+  /// Synchronous accessors for recovery paths and tests (timing handled by
+  /// the caller, e.g. folded into a restart delay).
+  std::optional<std::vector<std::uint8_t>> get_now(const std::string& key) const;
+  void put_now(const std::string& key, std::vector<std::uint8_t> value);
+  bool erase(const std::string& key);
+
+  /// Keys with the given prefix, sorted.
+  std::vector<std::string> keys_with_prefix(const std::string& prefix) const;
+
+  std::uint64_t puts() const { return puts_; }
+  std::uint64_t gets() const { return gets_; }
+  const KvParams& params() const { return params_; }
+
+ private:
+  sim::Simulator& sim_;
+  KvParams params_;
+  std::map<std::string, std::vector<std::uint8_t>> data_;
+  mutable std::uint64_t puts_ = 0;
+  mutable std::uint64_t gets_ = 0;
+};
+
+}  // namespace elan::transport

@@ -1,0 +1,24 @@
+// Message types for the control plane.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace elan::transport {
+
+/// Globally unique message id (paper §V-D: "we tag every message with a
+/// unique ID and resend it in case of timeout").
+using MessageId = std::uint64_t;
+
+struct Message {
+  MessageId id = 0;
+  std::string from;
+  std::string to;
+  std::string type;                   // application-level tag, e.g. "report"
+  std::vector<std::uint8_t> payload;  // BinaryWriter-encoded body
+  bool is_ack = false;
+  MessageId ack_of = 0;
+};
+
+}  // namespace elan::transport

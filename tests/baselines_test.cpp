@@ -1,0 +1,181 @@
+// Tests of the Litz baseline model (Fig 16) and the analytic adjustment-cost
+// model (Fig 15 / Fig 22 inputs), including cross-validation against the
+// ElasticJob runtime.
+#include <gtest/gtest.h>
+
+#include "baselines/adjustment_cost.h"
+#include "baselines/litz.h"
+#include "elan/job.h"
+
+namespace elan::baselines {
+namespace {
+
+struct BaselineFixture {
+  topo::Topology topology{topo::TopologySpec{}};
+  topo::BandwidthModel bandwidth;
+  storage::SimFilesystem fs;
+  train::ThroughputModel throughput{topology, bandwidth};
+  AdjustmentCostModel costs{topology, bandwidth, fs};
+};
+
+// ---------------------------------------------------------------------------
+// Litz
+// ---------------------------------------------------------------------------
+
+TEST(Litz, ContextSwitchDominatedByPcie) {
+  BaselineFixture f;
+  const LitzModel litz2(f.throughput, {2});
+  const auto m = train::transformer();
+  // Context = state + the executor's activations; moving it twice over
+  // ~10 GiB/s PCIe costs hundreds of milliseconds.
+  EXPECT_GT(litz2.context_switch_time(m, 16), 0.2);
+  // Bigger per-executor batches mean bigger contexts.
+  EXPECT_GT(litz2.context_switch_time(m, 32), litz2.context_switch_time(m, 8));
+}
+
+TEST(Litz, MuchSlowerThanElan) {
+  // Fig 16: Litz's relative throughput is far below 1 for every model.
+  BaselineFixture f;
+  const LitzModel litz2(f.throughput, {2});
+  const LitzModel litz4(f.throughput, {4});
+  for (const auto& m : train::model_zoo()) {
+    for (int workers : {8, 16, 32}) {
+      const int tbs = 32 * workers;
+      const double r2 = litz2.relative_throughput(m, workers, tbs);
+      const double r4 = litz4.relative_throughput(m, workers, tbs);
+      EXPECT_LT(r2, 0.55) << m.name << " w=" << workers;
+      EXPECT_LT(r4, 0.55) << m.name << " w=" << workers;
+      EXPECT_GT(r2, 0.0);
+      EXPECT_GT(r4, 0.0);
+    }
+  }
+}
+
+TEST(Litz, TransformerReductionExceeds90Percent) {
+  // Paper: "the reduction of throughput even exceeds 90% on Transformer".
+  BaselineFixture f;
+  const LitzModel litz4(f.throughput, {4});
+  const auto m = train::transformer();
+  EXPECT_LT(litz4.relative_throughput(m, 16, 512), 0.10);
+}
+
+TEST(Litz, MoreExecutorsMoreSwitchingCost) {
+  // Litz-4 pays more switches than Litz-2 and still cannot match Elan even
+  // though it runs more compute (paper's observation).
+  BaselineFixture f;
+  const LitzModel litz2(f.throughput, {2});
+  const LitzModel litz4(f.throughput, {4});
+  const auto m = train::resnet50();
+  EXPECT_LT(litz4.relative_throughput(m, 16, 512),
+            litz2.relative_throughput(m, 16, 512));
+}
+
+TEST(Litz, Validation) {
+  BaselineFixture f;
+  const LitzModel litz(f.throughput, {2});
+  EXPECT_THROW(litz.iteration_time(train::resnet50(), 0, 128), InvalidArgument);
+}
+
+// ---------------------------------------------------------------------------
+// Adjustment cost model
+// ---------------------------------------------------------------------------
+
+TEST(AdjustmentCost, IdealIsInstant) {
+  BaselineFixture f;
+  EXPECT_DOUBLE_EQ(
+      f.costs.pause_time(System::kIdeal, AdjustmentType::kScaleOut, train::resnet50(), 16, 32),
+      0.0);
+  EXPECT_DOUBLE_EQ(f.costs.runtime_overhead(System::kIdeal, train::resnet50(), 16, 512), 0.0);
+}
+
+TEST(AdjustmentCost, ElanPausesAreSeconds) {
+  BaselineFixture f;
+  for (const auto& m : train::model_zoo()) {
+    for (auto type : {AdjustmentType::kScaleOut, AdjustmentType::kScaleIn,
+                      AdjustmentType::kMigrate}) {
+      const int before = 16;
+      const int after = type == AdjustmentType::kScaleOut
+                            ? 32
+                            : (type == AdjustmentType::kScaleIn ? 8 : 16);
+      const auto t = f.costs.pause_time(System::kElan, type, m, before, after);
+      EXPECT_GT(t, 0.0) << m.name;
+      EXPECT_LT(t, 3.0) << m.name << " " << to_string(type);
+    }
+  }
+}
+
+TEST(AdjustmentCost, SnrScaleOutIsTensOfSeconds) {
+  BaselineFixture f;
+  const auto m = train::resnet50();
+  const auto elan = f.costs.pause_time(System::kElan, AdjustmentType::kScaleOut, m, 16, 32);
+  const auto snr =
+      f.costs.pause_time(System::kShutdownRestart, AdjustmentType::kScaleOut, m, 16, 32);
+  // Paper: 10-80x faster scale in/out.
+  EXPECT_GT(snr / elan, 10.0);
+  EXPECT_LT(snr / elan, 120.0);
+}
+
+TEST(AdjustmentCost, SnrMigrationGapIsSmaller) {
+  // Paper: only ~4x on migration, because S&R's replacements also start
+  // asynchronously and just the checkpoint+load remains.
+  BaselineFixture f;
+  const auto m = train::resnet50();
+  const auto elan = f.costs.pause_time(System::kElan, AdjustmentType::kMigrate, m, 16, 16);
+  const auto snr =
+      f.costs.pause_time(System::kShutdownRestart, AdjustmentType::kMigrate, m, 16, 16);
+  EXPECT_GT(snr / elan, 1.4);
+  EXPECT_LT(snr / elan, 12.0);
+  const auto snr_scale =
+      f.costs.pause_time(System::kShutdownRestart, AdjustmentType::kScaleOut, m, 16, 32);
+  EXPECT_LT(snr, snr_scale);
+}
+
+TEST(AdjustmentCost, OverheadMatchesPaperBound) {
+  BaselineFixture f;
+  for (const auto& m : train::model_zoo()) {
+    for (int workers : {2, 8, 32, 64}) {
+      const auto o = f.costs.runtime_overhead(System::kElan, m, workers, 32 * workers);
+      EXPECT_GT(o, 0.0);
+      EXPECT_LT(o, 0.01) << m.name << " w=" << workers;  // <1%, typically <3 per mille
+    }
+  }
+}
+
+TEST(AdjustmentCost, CrossValidatesAgainstElasticJobRuntime) {
+  // The analytic pause estimate feeding the scheduling simulator must agree
+  // with what the actual ElasticJob runtime measures for the same scenario.
+  BaselineFixture f;
+  sim::Simulator sim;
+  transport::MessageBus bus(sim, f.bandwidth);
+  transport::KvStore kv(sim);
+  JobConfig cfg;
+  cfg.model = train::resnet50();
+  cfg.initial_workers = 4;
+  cfg.initial_total_batch = 128;
+  ElasticJob job(sim, f.topology, f.bandwidth, f.fs, bus, kv, cfg);
+  job.stop_after_iterations(500);
+  job.start();
+  sim.schedule(1.0, [&] { job.request_scale_out({4, 5}); });
+  sim.run();
+  ASSERT_EQ(job.adjustments().size(), 1u);
+  const double measured = job.adjustments().front().pause_time();
+  const double predicted =
+      f.costs.pause_time(System::kElan, AdjustmentType::kScaleOut, cfg.model, 4, 6);
+  // Within 50% (the runtime adds coordination latency and schedule effects).
+  EXPECT_NEAR(predicted, measured, measured * 0.5);
+}
+
+TEST(AdjustmentCost, NewWorkerReadyTimeCoversStartPlusInit) {
+  BaselineFixture f;
+  EXPECT_GT(f.costs.new_worker_ready_time(), 10.0);
+  EXPECT_LT(f.costs.new_worker_ready_time(), 30.0);
+}
+
+TEST(AdjustmentCost, SystemNames) {
+  EXPECT_STREQ(to_string(System::kIdeal), "Ideal");
+  EXPECT_STREQ(to_string(System::kElan), "Elan");
+  EXPECT_STREQ(to_string(System::kShutdownRestart), "S&R");
+}
+
+}  // namespace
+}  // namespace elan::baselines

@@ -1,0 +1,110 @@
+// Tests of communication groups and collective cost models.
+#include <gtest/gtest.h>
+
+#include "comm/group.h"
+
+namespace elan::comm {
+namespace {
+
+struct CommFixture {
+  topo::Topology topology{topo::TopologySpec{}};
+  topo::BandwidthModel bandwidth;
+
+  CommGroup group(std::vector<topo::GpuId> members) {
+    return CommGroup(topology, bandwidth, std::move(members));
+  }
+};
+
+TEST(CommGroup, MembersSortedAndDeduplicated) {
+  CommFixture f;
+  const auto g = f.group({3, 1, 2});
+  EXPECT_EQ(g.members(), (std::vector<topo::GpuId>{1, 2, 3}));
+  EXPECT_TRUE(g.contains(2));
+  EXPECT_FALSE(g.contains(5));
+  EXPECT_THROW(f.group({1, 1}), InvalidArgument);
+  EXPECT_THROW(f.group({}), InvalidArgument);
+}
+
+TEST(CommGroup, BottleneckLevelFollowsSpan) {
+  CommFixture f;
+  EXPECT_EQ(f.group({0, 1}).bottleneck_level(), topo::LinkLevel::kL1);
+  EXPECT_EQ(f.group({0, 1, 2, 3}).bottleneck_level(), topo::LinkLevel::kL2);
+  EXPECT_EQ(f.group({0, 1, 2, 3, 4, 5}).bottleneck_level(), topo::LinkLevel::kL3);
+  EXPECT_EQ(f.group({0, 1, 8}).bottleneck_level(), topo::LinkLevel::kL4);
+}
+
+TEST(CommGroup, SingleMemberCollectivesAreFree) {
+  CommFixture f;
+  const auto g = f.group({0});
+  EXPECT_DOUBLE_EQ(g.allreduce_time(100_MiB), 0.0);
+  EXPECT_DOUBLE_EQ(g.broadcast_time(100_MiB), 0.0);
+  EXPECT_DOUBLE_EQ(g.barrier_time(), 0.0);
+}
+
+TEST(CommGroup, AllreduceGrowsWithPayload) {
+  CommFixture f;
+  const auto g = f.group({0, 1, 2, 3});
+  EXPECT_LT(g.allreduce_time(1_MiB), g.allreduce_time(100_MiB));
+}
+
+TEST(CommGroup, CrossNodeAllreduceIsSlower) {
+  CommFixture f;
+  const auto local = f.group({0, 1, 2, 3, 4, 5, 6, 7});
+  const auto spread = f.group({0, 1, 2, 3, 8, 9, 10, 11});
+  EXPECT_LT(local.allreduce_time(100_MiB), spread.allreduce_time(100_MiB));
+}
+
+TEST(CommGroup, BandwidthTermDominatesForLargePayloads) {
+  CommFixture f;
+  const auto g = f.group({0, 1, 2, 3});
+  // Ring allreduce moves 2(N-1)/N * S per rank; with S=64MiB over L2 the
+  // latency term is negligible.
+  const double expected = 2.0 * 3.0 / 4.0 * 64.0 * 1024 * 1024 /
+                          f.bandwidth.effective_bandwidth(topo::LinkLevel::kL2, 16_MiB);
+  EXPECT_NEAR(g.allreduce_time(64_MiB), expected, expected * 0.1);
+}
+
+TEST(CommGroup, BroadcastUsesLogRounds) {
+  CommFixture f;
+  // Same bottleneck (L4) for both groups so the round count is isolated:
+  // 8 nodes need 3 rounds vs 1 round for 2 nodes.
+  const auto g2 = f.group({0, 8});
+  const auto g8 = f.group({0, 8, 16, 24, 32, 40, 48, 56});
+  const double ratio = g8.broadcast_time(16_MiB) / g2.broadcast_time(16_MiB);
+  EXPECT_NEAR(ratio, 3.0, 0.1);
+}
+
+TEST(CommGroup, ReconstructCostScalesWithRanks) {
+  CommFixture f;
+  const auto g = f.group({0, 1});
+  EXPECT_LT(g.reconstruct_time(2), g.reconstruct_time(64));
+  EXPECT_THROW(g.reconstruct_time(0), InvalidArgument);
+}
+
+TEST(CommGroup, ReconstructedGroupHasNewMembers) {
+  CommFixture f;
+  const auto g = f.group({0, 1});
+  const auto g2 = g.reconstructed({0, 1, 2, 3});
+  EXPECT_EQ(g2.size(), 4);
+  EXPECT_EQ(g2.bottleneck_level(), topo::LinkLevel::kL2);
+}
+
+TEST(AllreduceSum, SumsAcrossRanks) {
+  std::vector<double> a{1, 2, 3};
+  std::vector<double> b{10, 20, 30};
+  std::vector<double> c{100, 200, 300};
+  allreduce_sum({&a, &b, &c});
+  const std::vector<double> expected{111, 222, 333};
+  EXPECT_EQ(a, expected);
+  EXPECT_EQ(b, expected);
+  EXPECT_EQ(c, expected);
+}
+
+TEST(AllreduceSum, RejectsMismatchedSizes) {
+  std::vector<double> a{1, 2};
+  std::vector<double> b{1};
+  EXPECT_THROW(allreduce_sum({&a, &b}), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace elan::comm

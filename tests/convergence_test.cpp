@@ -1,0 +1,158 @@
+// Tests of the convergence model — anchored to the paper's reported accuracy
+// numbers (Fig 5, Fig 18, Table IV context).
+#include <gtest/gtest.h>
+
+#include "train/convergence.h"
+
+namespace elan::train {
+namespace {
+
+std::vector<EpochPlan> elastic_adabatch_plan(bool ramped) {
+  // The paper's §VI-B recipe: start at TBS 512, double at epochs 30 and 60
+  // (with the standard x0.1 step decays), double the LR with the batch and
+  // ramp over 100 iterations.
+  std::vector<EpochPlan> plan;
+  for (int e = 0; e < 90; ++e) {
+    EpochPlan p;
+    p.total_batch = e < 30 ? 512 : (e < 60 ? 1024 : 2048);
+    const double decay = e >= 60 ? 0.01 : (e >= 30 ? 0.1 : 1.0);
+    p.lr = 0.1 * p.total_batch / 256.0 * decay;
+    if (e == 30 || e == 60) {
+      p.lr_jump = 2.0;
+      p.ramped = ramped;
+      p.ramp_iterations = 100;
+    }
+    plan.push_back(p);
+  }
+  return plan;
+}
+
+TEST(Convergence, ResNetReferenceReaches7589) {
+  const auto m = ConvergenceModel::resnet50_imagenet();
+  const auto plan = m.reference_recipe(512, 90, {30, 60});
+  const auto r = m.simulate(plan);
+  EXPECT_FALSE(r.diverged);
+  // Paper: 512 (16) reaches 75.89%.
+  EXPECT_NEAR(r.final_accuracy(), 0.7589, 0.0015);
+}
+
+TEST(Convergence, StaircaseAtDecayEpochs) {
+  const auto m = ConvergenceModel::resnet50_imagenet();
+  const auto r = m.simulate(m.reference_recipe(512, 90, {30, 60}));
+  // Accuracy plateaus before each decay and jumps after (Fig 18's shape).
+  const double before30 = r.accuracy[29] - r.accuracy[27];
+  const double after30 = r.accuracy[32] - r.accuracy[29];
+  EXPECT_GT(after30, before30 * 3);
+  EXPECT_GT(r.accuracy[59], r.accuracy[29]);
+  EXPECT_GT(r.accuracy[89], r.accuracy[59]);
+}
+
+TEST(Convergence, ElasticRecipeMatchesStaticAccuracy) {
+  // Paper Fig 18: 75.87% elastic vs 75.89% static — the hybrid scaling
+  // mechanism keeps model performance.
+  const auto m = ConvergenceModel::resnet50_imagenet();
+  const auto static_r = m.simulate(m.reference_recipe(512, 90, {30, 60}));
+  const auto elastic_r = m.simulate(elastic_adabatch_plan(/*ramped=*/true));
+  EXPECT_FALSE(elastic_r.diverged);
+  EXPECT_NEAR(elastic_r.final_accuracy(), static_r.final_accuracy(), 0.001);
+  EXPECT_LE(elastic_r.final_accuracy(), static_r.final_accuracy());
+}
+
+TEST(Convergence, UnrampedJumpsCostAccuracy) {
+  const auto m = ConvergenceModel::resnet50_imagenet();
+  const auto ramped = m.simulate(elastic_adabatch_plan(true));
+  const auto sharp = m.simulate(elastic_adabatch_plan(false));
+  EXPECT_LT(sharp.final_accuracy(), ramped.final_accuracy());
+}
+
+TEST(Convergence, LargeUnrampedJumpDiverges) {
+  // A sharp 4x LR increase destabilises training (the motivation for the
+  // progressive linear scaling rule, §III).
+  const auto m = ConvergenceModel::resnet50_imagenet();
+  std::vector<EpochPlan> plan;
+  for (int e = 0; e < 60; ++e) {
+    EpochPlan p;
+    p.total_batch = e < 30 ? 512 : 2048;
+    p.lr = 0.1 * p.total_batch / 256.0;
+    if (e == 30) p.lr_jump = 4.0;  // not ramped
+    plan.push_back(p);
+  }
+  const auto r = m.simulate(plan);
+  EXPECT_TRUE(r.diverged);
+  EXPECT_LT(r.final_accuracy(), 0.1);
+}
+
+TEST(Convergence, RampedJumpOfSameSizeDoesNotDiverge) {
+  const auto m = ConvergenceModel::resnet50_imagenet();
+  std::vector<EpochPlan> plan;
+  for (int e = 0; e < 60; ++e) {
+    EpochPlan p;
+    p.total_batch = e < 30 ? 512 : 2048;
+    p.lr = 0.1 * p.total_batch / 256.0;
+    if (e == 30) {
+      p.lr_jump = 4.0;
+      p.ramped = true;
+      p.ramp_iterations = 100;
+    }
+    plan.push_back(p);
+  }
+  EXPECT_FALSE(m.simulate(plan).diverged);
+}
+
+TEST(Convergence, Fig5DefaultDeclinesMonotonically) {
+  // Fig 5 "Default": growing the batch with a fixed LR degrades accuracy.
+  const auto m = ConvergenceModel::mobilenet_cifar100();
+  double prev = 1.0;
+  for (int tbs = 128; tbs <= 8192; tbs *= 2) {
+    const double acc = m.final_accuracy(tbs, 0.05, 100, {60, 80});
+    EXPECT_LT(acc, prev + 1e-9) << tbs;
+    prev = acc;
+  }
+  // The total decline is substantial (many points of accuracy).
+  EXPECT_LT(prev, 0.62);
+}
+
+TEST(Convergence, Fig5HybridHoldsUntilCriticalBatch) {
+  const auto m = ConvergenceModel::mobilenet_cifar100();
+  const double base = m.final_accuracy(128, 0.05, 100, {60, 80});
+  // Linear-scaled LR holds accuracy through 2^11.
+  for (int tbs = 256; tbs <= 2048; tbs *= 2) {
+    const double acc = m.final_accuracy(tbs, 0.05 * tbs / 128.0, 100, {60, 80});
+    EXPECT_NEAR(acc, base, 0.004) << tbs;
+  }
+  // ...but 2^12 and beyond dip even with the hybrid rule (open problem per
+  // the paper).
+  const double at4096 = m.final_accuracy(4096, 0.05 * 32, 100, {60, 80});
+  EXPECT_LT(at4096, base - 0.004);
+  const double at8192 = m.final_accuracy(8192, 0.05 * 64, 100, {60, 80});
+  EXPECT_LT(at8192, at4096);
+}
+
+TEST(Convergence, HybridBeatsDefaultAtEveryLargeBatch) {
+  const auto m = ConvergenceModel::mobilenet_cifar100();
+  for (int tbs = 256; tbs <= 8192; tbs *= 2) {
+    const double def = m.final_accuracy(tbs, 0.05, 100, {60, 80});
+    const double hyb = m.final_accuracy(tbs, 0.05 * tbs / 128.0, 100, {60, 80});
+    EXPECT_GT(hyb, def) << tbs;
+  }
+}
+
+TEST(Convergence, EpochsToAccuracy) {
+  const auto m = ConvergenceModel::resnet50_imagenet();
+  const auto r = m.simulate(m.reference_recipe(512, 90, {30, 60}));
+  const int e745 = r.epochs_to_accuracy(0.745);
+  const int e755 = r.epochs_to_accuracy(0.755);
+  EXPECT_GT(e745, 30);
+  EXPECT_GT(e755, e745);
+  EXPECT_EQ(r.epochs_to_accuracy(0.99), -1);
+}
+
+TEST(Convergence, CeilingValidation) {
+  const auto m = ConvergenceModel::resnet50_imagenet();
+  EXPECT_THROW(m.ceiling(0, 0.1), InvalidArgument);
+  EXPECT_THROW(m.ceiling(128, -1.0), InvalidArgument);
+  EXPECT_THROW(m.simulate({}), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace elan::train

@@ -1,0 +1,235 @@
+// Gap-coverage tests: smaller behaviours not exercised elsewhere.
+#include <gtest/gtest.h>
+
+#include "baselines/adjustment_cost.h"
+#include "elan/hybrid_scaling.h"
+#include "sim/simulator.h"
+#include "storage/filesystem.h"
+#include "data/sampler.h"
+#include "train/lr_schedule.h"
+#include "transport/bus.h"
+#include "transport/kv_store.h"
+
+namespace elan {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Simulator interleaving details
+// ---------------------------------------------------------------------------
+
+TEST(SimulatorDetail, SameTimeInsertionOrderAcrossNesting) {
+  sim::Simulator s;
+  std::vector<int> order;
+  s.schedule(1.0, [&] {
+    order.push_back(1);
+    s.schedule(0.0, [&] { order.push_back(3); });  // same timestamp, later seq
+  });
+  s.schedule(1.0, [&] { order.push_back(2); });
+  s.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(SimulatorDetail, CancelInsideCallback) {
+  sim::Simulator s;
+  bool later_ran = false;
+  sim::EventId later = 0;
+  later = s.schedule(2.0, [&] { later_ran = true; });
+  s.schedule(1.0, [&] { EXPECT_TRUE(s.cancel(later)); });
+  s.run();
+  EXPECT_FALSE(later_ran);
+}
+
+TEST(SimulatorDetail, HeavyRandomizedScheduleIsDeterministic) {
+  auto run = [] {
+    sim::Simulator s;
+    Rng rng(99);
+    std::uint64_t digest = 0;
+    std::function<void(int)> spawn = [&](int depth) {
+      digest = digest * 31 + static_cast<std::uint64_t>(s.now() * 1e6);
+      if (depth <= 0) return;
+      const int fanout = static_cast<int>(rng.uniform_int(1, 3));
+      for (int i = 0; i < fanout; ++i) {
+        s.schedule(rng.uniform(0.0, 2.0), [&spawn, depth] { spawn(depth - 1); });
+      }
+    };
+    s.schedule(0.0, [&] { spawn(8); });
+    s.run();
+    return std::make_pair(digest, s.executed());
+  };
+  const auto a = run();
+  const auto b = run();
+  EXPECT_EQ(a, b);
+  EXPECT_GT(a.second, 50u);
+}
+
+// ---------------------------------------------------------------------------
+// Bus latency accounting
+// ---------------------------------------------------------------------------
+
+TEST(BusDetail, LargePayloadsTakeLonger) {
+  sim::Simulator s;
+  topo::BandwidthModel bw;
+  transport::BusParams p;
+  p.jitter_fraction = 0.0;
+  transport::MessageBus bus(s, bw, p);
+  Seconds small_at = -1;
+  Seconds big_at = -1;
+  bus.attach("sink", [&](const transport::Message& m) {
+    (m.type == "small" ? small_at : big_at) = s.now();
+  });
+  transport::Message small;
+  small.to = "sink";
+  small.type = "small";
+  bus.send(std::move(small));
+  transport::Message big;
+  big.to = "sink";
+  big.type = "big";
+  big.payload.assign(10_MiB, 0);
+  bus.send(std::move(big));
+  s.run();
+  ASSERT_GE(small_at, 0.0);
+  ASSERT_GE(big_at, 0.0);
+  // 10 MiB over ~110 MiB/s Ethernet: ~90 ms vs sub-ms for the small one.
+  EXPECT_GT(big_at, small_at + 0.05);
+}
+
+// ---------------------------------------------------------------------------
+// Hybrid scaling edges
+// ---------------------------------------------------------------------------
+
+TEST(HybridScalingDetail, MaxFactorCapsTheFallback) {
+  topo::Topology topology{topo::TopologySpec{}};
+  topo::BandwidthModel bandwidth;
+  train::ThroughputModel tm(topology, bandwidth);
+  HybridScalingParams p;
+  p.max_factor = 4.0;
+  HybridScaling hybrid(tm, train::mobilenet_v2(), p);
+  // 1 -> 64 would proportionally weak-scale 64x; the cap holds it to 4x.
+  const auto d = hybrid.decide(1, 32, 64);
+  EXPECT_LE(d.batch_factor, 4.0 + 1e-9);
+  EXPECT_LE(d.total_batch, 128);
+}
+
+TEST(HybridScalingDetail, NoChangeIsIdentity) {
+  topo::Topology topology{topo::TopologySpec{}};
+  topo::BandwidthModel bandwidth;
+  train::ThroughputModel tm(topology, bandwidth);
+  HybridScaling hybrid(tm, train::resnet50());
+  const auto d = hybrid.decide(16, 512, 16);
+  EXPECT_EQ(d.total_batch, 512);
+  EXPECT_FALSE(d.weak_scaled);
+}
+
+// ---------------------------------------------------------------------------
+// Adjustment-cost monotonicity
+// ---------------------------------------------------------------------------
+
+TEST(AdjustmentCostDetail, ReplicationScalesWithStateSize) {
+  topo::Topology topology{topo::TopologySpec{}};
+  topo::BandwidthModel bandwidth;
+  storage::SimFilesystem fs;
+  baselines::AdjustmentCostModel costs(topology, bandwidth, fs);
+  const auto small = costs.elan_replication_time(train::mobilenet_v2(), 8, 8);
+  const auto big = costs.elan_replication_time(train::vgg19(), 8, 8);
+  EXPECT_GT(big, small * 5);  // 1.1 GiB of state vs 27 MiB
+}
+
+TEST(AdjustmentCostDetail, SnrPauseGrowsWithWorkerCount) {
+  topo::Topology topology{topo::TopologySpec{}};
+  topo::BandwidthModel bandwidth;
+  storage::SimFilesystem fs;
+  baselines::AdjustmentCostModel costs(topology, bandwidth, fs);
+  const auto m = train::resnet50();
+  const auto at8 = costs.pause_time(baselines::System::kShutdownRestart,
+                                    AdjustmentType::kScaleOut, m, 4, 8);
+  const auto at64 = costs.pause_time(baselines::System::kShutdownRestart,
+                                     AdjustmentType::kScaleOut, m, 32, 64);
+  // More restarted workers -> larger expected max start + FS contention.
+  EXPECT_GT(at64, at8);
+}
+
+// ---------------------------------------------------------------------------
+// Filesystem reference stability
+// ---------------------------------------------------------------------------
+
+TEST(FilesystemDetail, ReadReferenceSurvivesOtherWrites) {
+  storage::SimFilesystem fs;
+  fs.write("/a", {1, 2, 3});
+  const auto& a = fs.read("/a");
+  fs.write("/b", std::vector<std::uint8_t>(1000, 7));
+  EXPECT_EQ(a, (std::vector<std::uint8_t>{1, 2, 3}));  // map nodes are stable
+  fs.write("/a", {9});
+  EXPECT_EQ(fs.read("/a"), (std::vector<std::uint8_t>{9}));
+}
+
+// ---------------------------------------------------------------------------
+// Chunk-sampler state serialisation (the bytes S&R checkpoints carry)
+// ---------------------------------------------------------------------------
+
+TEST(ChunkStateDetail, SerializeRestoreRoundTrip) {
+  data::ChunkSampler a(data::Dataset{"d", 1000, 1}, 64, 3);
+  a.next_batch(0, 100);
+  a.next_batch(2, 37);
+  a.repartition(5);
+  const auto bytes = a.serialize_state();
+
+  data::ChunkSampler b(data::Dataset{"d", 1000, 1}, 64, 3);
+  b.restore_state(bytes);
+  EXPECT_EQ(b.consumed(), a.consumed());
+  EXPECT_EQ(b.num_workers(), 5);
+  EXPECT_EQ(b.remaining(), a.remaining());
+  // The restored sampler continues exactly where the original would.
+  const auto ra = a.next_batch(1, 10);
+  const auto rb = b.next_batch(1, 10);
+  EXPECT_EQ(ra, rb);
+}
+
+// ---------------------------------------------------------------------------
+// KV store async read path
+// ---------------------------------------------------------------------------
+
+TEST(KvStoreDetail, AsyncGetDeliversAfterLatency) {
+  sim::Simulator s;
+  transport::KvStore kv(s);
+  kv.put_now("k", {5});
+  bool got = false;
+  double at = -1;
+  kv.get("k", [&](std::optional<std::vector<std::uint8_t>> v) {
+    got = v.has_value() && v->front() == 5;
+    at = s.now();
+  });
+  bool missing_checked = false;
+  kv.get("absent", [&](std::optional<std::vector<std::uint8_t>> v) {
+    missing_checked = !v.has_value();
+  });
+  s.run();
+  EXPECT_TRUE(got);
+  EXPECT_TRUE(missing_checked);
+  EXPECT_DOUBLE_EQ(at, kv.params().get_latency);
+}
+
+// ---------------------------------------------------------------------------
+// LR controller across repeated elastic adjustments
+// ---------------------------------------------------------------------------
+
+TEST(LrControllerDetail, ThreeConsecutiveScalingsCompose) {
+  // The paper's elastic run applies two doublings; stress one more, with a
+  // scale-in and a decay interleaved. apply_scaling is invoked *when* each
+  // adjustment lands (as the job runtime does), so query in between.
+  train::LrController c{train::StepSchedule(0.1, {1000})};
+  EXPECT_DOUBLE_EQ(c.lr(99), 0.1);
+  c.apply_scaling(2.0, 100, 50);  // -> 0.2 by iter 150
+  EXPECT_DOUBLE_EQ(c.lr(125), 0.15);  // mid-ramp
+  EXPECT_DOUBLE_EQ(c.lr(200), 0.2);
+  c.apply_scaling(2.0, 500, 50);  // -> 0.4 by iter 550
+  EXPECT_DOUBLE_EQ(c.lr(600), 0.4);
+  c.apply_scaling(0.5, 800, 50);  // scale-in halves -> 0.2
+  EXPECT_DOUBLE_EQ(c.lr(900), 0.2);
+  EXPECT_DOUBLE_EQ(c.scale(), 2.0);
+  // The base decay at 1000 applies under the composed scale (0.1*2 = 0.2;
+  // decayed x0.1 -> 0.02).
+  EXPECT_NEAR(c.lr(1100), 0.02, 1e-12);
+}
+
+}  // namespace
+}  // namespace elan

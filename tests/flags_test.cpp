@@ -1,0 +1,94 @@
+// Tests of the CLI flag parser.
+#include <gtest/gtest.h>
+
+#include "common/flags.h"
+
+namespace elan {
+namespace {
+
+Flags make_flags() {
+  Flags f;
+  f.define("policy", "E-BF", "scheduling policy");
+  f.define("seed", "2020", "random seed");
+  f.define("ratio", "0.5", "a ratio");
+  f.define("verbose", "false", "chatty output");
+  return f;
+}
+
+std::vector<std::string> parse(Flags& f, std::vector<const char*> args) {
+  args.insert(args.begin(), "prog");
+  return f.parse(static_cast<int>(args.size()), args.data());
+}
+
+TEST(Flags, DefaultsApply) {
+  auto f = make_flags();
+  parse(f, {});
+  EXPECT_EQ(f.get("policy"), "E-BF");
+  EXPECT_EQ(f.get_int("seed"), 2020);
+  EXPECT_DOUBLE_EQ(f.get_double("ratio"), 0.5);
+  EXPECT_FALSE(f.get_bool("verbose"));
+  EXPECT_FALSE(f.has("policy"));
+}
+
+TEST(Flags, EqualsForm) {
+  auto f = make_flags();
+  parse(f, {"--policy=FIFO", "--seed=7"});
+  EXPECT_EQ(f.get("policy"), "FIFO");
+  EXPECT_EQ(f.get_int("seed"), 7);
+  EXPECT_TRUE(f.has("policy"));
+}
+
+TEST(Flags, SpaceForm) {
+  auto f = make_flags();
+  parse(f, {"--policy", "BF", "--ratio", "0.75"});
+  EXPECT_EQ(f.get("policy"), "BF");
+  EXPECT_DOUBLE_EQ(f.get_double("ratio"), 0.75);
+}
+
+TEST(Flags, BooleanForm) {
+  auto f = make_flags();
+  parse(f, {"--verbose", "--seed=1"});
+  EXPECT_TRUE(f.get_bool("verbose"));
+}
+
+TEST(Flags, Positionals) {
+  auto f = make_flags();
+  const auto rest = parse(f, {"input.csv", "--seed=1", "more"});
+  EXPECT_EQ(rest, (std::vector<std::string>{"input.csv", "more"}));
+}
+
+TEST(Flags, UnknownFlagThrows) {
+  auto f = make_flags();
+  EXPECT_THROW(parse(f, {"--bogus=1"}), InvalidArgument);
+}
+
+TEST(Flags, TypeErrorsThrow) {
+  auto f = make_flags();
+  parse(f, {"--seed=notanumber"});
+  EXPECT_THROW(f.get_int("seed"), InvalidArgument);
+  parse(f, {"--verbose=maybe"});
+  EXPECT_THROW(f.get_bool("verbose"), InvalidArgument);
+}
+
+TEST(Flags, HelpRequested) {
+  auto f = make_flags();
+  parse(f, {"--help"});
+  EXPECT_TRUE(f.help_requested());
+  const auto usage = f.usage("prog");
+  EXPECT_NE(usage.find("--policy"), std::string::npos);
+  EXPECT_NE(usage.find("scheduling policy"), std::string::npos);
+}
+
+TEST(Flags, DuplicateDefinitionThrows) {
+  Flags f;
+  f.define("x", "1", "");
+  EXPECT_THROW(f.define("x", "2", ""), InvalidArgument);
+}
+
+TEST(Flags, UnknownGetThrows) {
+  auto f = make_flags();
+  EXPECT_THROW(f.get("nonexistent"), NotFound);
+}
+
+}  // namespace
+}  // namespace elan

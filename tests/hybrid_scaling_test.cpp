@@ -1,0 +1,125 @@
+// Tests of the hybrid scaling mechanism (paper §III, Algorithm 1).
+#include <gtest/gtest.h>
+
+#include "elan/hybrid_scaling.h"
+
+namespace elan {
+namespace {
+
+struct HybridFixture {
+  topo::Topology topology{topo::TopologySpec{}};
+  topo::BandwidthModel bandwidth;
+  train::ThroughputModel throughput{topology, bandwidth};
+
+  HybridScaling scaling(const train::ModelSpec& m = train::resnet50()) {
+    return HybridScaling(throughput, m);
+  }
+};
+
+TEST(HybridScaling, StrongScalingWhenOptimumCovers) {
+  // 16 -> 32 with TBS 2048: N_opt(2048)=64 >= 32, so keep the batch.
+  HybridFixture f;
+  const auto d = f.scaling().decide(16, 2048, 32);
+  EXPECT_EQ(d.total_batch, 2048);
+  EXPECT_DOUBLE_EQ(d.batch_factor, 1.0);
+  EXPECT_FALSE(d.weak_scaled);
+  EXPECT_GE(d.optimal_workers, 32);
+}
+
+TEST(HybridScaling, WeakScalesMinimally) {
+  // 16 -> 32 with TBS 512: N_opt(512)=16 < 32, one doubling reaches TBS 1024
+  // whose optimum (32) covers the target. Algorithm 1 picks the *minimum*
+  // sufficient batch.
+  HybridFixture f;
+  const auto d = f.scaling().decide(16, 512, 32);
+  EXPECT_EQ(d.total_batch, 1024);
+  EXPECT_DOUBLE_EQ(d.batch_factor, 2.0);
+  EXPECT_TRUE(d.weak_scaled);
+}
+
+TEST(HybridScaling, DoublesUntilSufficient) {
+  // 16 -> 64 with TBS 512 needs two doublings (2048's optimum is 64).
+  HybridFixture f;
+  const auto d = f.scaling().decide(16, 512, 64);
+  EXPECT_EQ(d.total_batch, 2048);
+  EXPECT_DOUBLE_EQ(d.batch_factor, 4.0);
+}
+
+TEST(HybridScaling, FallbackProportionalWeakScaling) {
+  // MobileNet's optimum stays small (communication-light model but weak
+  // per-GPU compute): scaling 2 -> 64 exhausts the doubling trials within
+  // k <= N'/N and falls back to proportional weak scaling (line 15).
+  HybridFixture f;
+  const auto m = train::mobilenet_v2();
+  const auto d = f.scaling(m).decide(2, 64, 64);
+  EXPECT_EQ(d.total_batch, 64 * 32);
+  EXPECT_DOUBLE_EQ(d.batch_factor, 32.0);
+  EXPECT_EQ(d.optimal_workers, 0);  // marks the fallback path
+}
+
+TEST(HybridScaling, ScaleInKeepsBatch) {
+  HybridFixture f;
+  const auto d = f.scaling().decide(32, 1024, 16);
+  EXPECT_EQ(d.total_batch, 1024);
+  EXPECT_DOUBLE_EQ(d.batch_factor, 1.0);
+  EXPECT_FALSE(d.weak_scaled);
+}
+
+TEST(HybridScaling, ScaleInShrinksBatchOnlyWhenMemoryForces) {
+  // 64 -> 2 with TBS 2048: 1024 per worker exceeds ResNet's 128/GPU cap;
+  // the batch shrinks just enough to fit.
+  HybridFixture f;
+  const auto d = f.scaling().decide(64, 2048, 2);
+  EXPECT_LE(d.total_batch / 2, train::resnet50().max_batch_per_gpu);
+  EXPECT_EQ(d.total_batch, 256);
+  EXPECT_TRUE(d.weak_scaled);
+  EXPECT_DOUBLE_EQ(d.batch_factor, 0.125);
+}
+
+TEST(HybridScaling, MigrationIsNoChange) {
+  HybridFixture f;
+  const auto d = f.scaling().decide(16, 512, 16);
+  EXPECT_EQ(d.total_batch, 512);
+  EXPECT_DOUBLE_EQ(d.batch_factor, 1.0);
+}
+
+TEST(HybridScaling, LrFactorEqualsBatchFactor) {
+  // The progressive linear scaling rule scales the LR by the same k as the
+  // batch (Eq. 2).
+  HybridFixture f;
+  for (int target : {24, 32, 48, 64}) {
+    const auto d = f.scaling().decide(16, 512, target);
+    EXPECT_DOUBLE_EQ(d.batch_factor,
+                     static_cast<double>(d.total_batch) / 512.0)
+        << target;
+  }
+}
+
+TEST(HybridScaling, PaperElasticSequence) {
+  // The §VI-B experiment: 16 (512) -> 32 and then 32 -> 64 reproduce the
+  // paper's 512 -> 1024 -> 2048 batch trajectory.
+  HybridFixture f;
+  const auto s = f.scaling();
+  const auto step1 = s.decide(16, 512, 32);
+  EXPECT_EQ(step1.total_batch, 1024);
+  const auto step2 = s.decide(32, step1.total_batch, 64);
+  EXPECT_EQ(step2.total_batch, 2048);
+}
+
+TEST(HybridScaling, RespectsGpuMemoryDuringTrials) {
+  // Even when a doubling would satisfy the optimum rule, it must fit.
+  HybridFixture f;
+  const auto m = train::vgg19();  // max 64 per GPU
+  const auto d = f.scaling(m).decide(8, 512, 16);
+  EXPECT_LE((d.total_batch + 15) / 16, m.max_batch_per_gpu);
+}
+
+TEST(HybridScaling, Validation) {
+  HybridFixture f;
+  EXPECT_THROW(f.scaling().decide(0, 512, 16), InvalidArgument);
+  EXPECT_THROW(f.scaling().decide(16, 0, 16), InvalidArgument);
+  EXPECT_THROW(f.scaling().decide(16, 512, 0), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace elan

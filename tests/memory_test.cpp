@@ -1,0 +1,90 @@
+// Tests of the simulated GPU memory and its consistency with the model zoo's
+// batch limits (the physical grounding of max_batch_per_gpu and min_res).
+#include <gtest/gtest.h>
+
+#include "memory/device_memory.h"
+#include "train/models.h"
+
+namespace elan::memory {
+namespace {
+
+TEST(DeviceMemory, AllocateAndFree) {
+  DeviceMemory dev(1_GiB);
+  EXPECT_EQ(dev.available(), 1_GiB);
+  const auto a = dev.allocate("params", 300_MiB);
+  const auto b = dev.allocate("workspace", 600_MiB);
+  EXPECT_EQ(dev.used(), 900_MiB);
+  EXPECT_EQ(dev.allocations().size(), 2u);
+  dev.free(a);
+  EXPECT_EQ(dev.used(), 600_MiB);
+  dev.free(b);
+  EXPECT_EQ(dev.used(), 0u);
+}
+
+TEST(DeviceMemory, ThrowsOnOom) {
+  DeviceMemory dev(1_GiB);
+  dev.allocate("big", 900_MiB);
+  EXPECT_THROW(dev.allocate("more", 200_MiB), OutOfMemory);
+  // The failed allocation must not change accounting.
+  EXPECT_EQ(dev.used(), 900_MiB);
+}
+
+TEST(DeviceMemory, DoubleFreeThrows) {
+  DeviceMemory dev(1_GiB);
+  const auto a = dev.allocate("x", 1_MiB);
+  dev.free(a);
+  EXPECT_THROW(dev.free(a), NotFound);
+}
+
+TEST(MemoryPool, OnePerGpu) {
+  topo::Topology topology{topo::TopologySpec{}};
+  MemoryPool pool(topology);
+  EXPECT_EQ(pool.total_used(), 0u);
+  pool.device(5).allocate("x", 1_GiB);
+  EXPECT_EQ(pool.device(5).used(), 1_GiB);
+  EXPECT_EQ(pool.device(6).used(), 0u);
+  EXPECT_EQ(pool.total_used(), 1_GiB);
+  EXPECT_THROW(pool.device(64), InvalidArgument);
+}
+
+TEST(Memory, ZooBatchLimitsMatchElevenGiB) {
+  // The headline consistency property: each model's max_batch_per_gpu is
+  // exactly what fits on an 11 GiB device (up to the next power-of-two
+  // step), and one step beyond does not fit.
+  for (const auto& m : train::model_zoo()) {
+    const Bytes at_max = worker_footprint(m, m.max_batch_per_gpu);
+    EXPECT_LE(at_max, 11_GiB) << m.name << ": " << format_bytes(at_max);
+    const Bytes doubled = worker_footprint(m, 2 * m.max_batch_per_gpu);
+    EXPECT_GT(doubled, 11_GiB) << m.name;
+  }
+}
+
+TEST(Memory, MaxFittingBatchBrackets) {
+  for (const auto& m : train::model_zoo()) {
+    const int fit = max_fitting_batch(m);
+    EXPECT_GE(fit, m.max_batch_per_gpu) << m.name;
+    EXPECT_LT(fit, 2 * m.max_batch_per_gpu) << m.name;
+  }
+}
+
+TEST(Memory, FootprintGrowsWithBatch) {
+  const auto m = train::resnet50();
+  EXPECT_LT(worker_footprint(m, 16), worker_footprint(m, 32));
+  EXPECT_THROW(worker_footprint(m, 0), InvalidArgument);
+}
+
+TEST(Memory, WorkerAllocationLifecycle) {
+  // A worker's full footprint at batch 32 fits alongside nothing else, and
+  // a second full context (the Litz scenario at large batch) does not.
+  const auto m = train::vgg19();
+  DeviceMemory dev;
+  const auto state = dev.allocate("state", m.gpu_state_bytes());
+  const auto ws = dev.allocate("workspace", m.workspace_bytes(64));
+  EXPECT_FALSE(dev.fits(m.gpu_state_bytes() + m.workspace_bytes(64)));
+  dev.free(ws);
+  dev.free(state);
+  EXPECT_EQ(dev.used(), 0u);
+}
+
+}  // namespace
+}  // namespace elan::memory

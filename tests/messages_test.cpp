@@ -1,0 +1,69 @@
+// Round-trip tests of the control-plane wire messages.
+#include <gtest/gtest.h>
+
+#include "elan/messages.h"
+
+namespace elan {
+namespace {
+
+TEST(Messages, ReportRoundTrip) {
+  ReportMsg m{7, 42};
+  const auto r = ReportMsg::deserialize(m.serialize());
+  EXPECT_EQ(r.worker, 7);
+  EXPECT_EQ(r.gpu, 42);
+}
+
+TEST(Messages, CoordinateRoundTrip) {
+  CoordinateMsg m{3, 123456789ULL};
+  const auto r = CoordinateMsg::deserialize(m.serialize());
+  EXPECT_EQ(r.worker, 3);
+  EXPECT_EQ(r.iteration, 123456789ULL);
+}
+
+TEST(Messages, PlanRoundTrip) {
+  AdjustmentPlan p;
+  p.version = 9;
+  p.type = AdjustmentType::kMigrate;
+  p.join = {{4, 12}, {5, 13}};
+  p.leave = {0, 1};
+  const auto bytes = p.serialize();
+  BinaryReader r(bytes);
+  const auto q = AdjustmentPlan::deserialize(r);
+  EXPECT_EQ(q, p);
+}
+
+TEST(Messages, EmptyPlanRoundTrip) {
+  AdjustmentPlan p;
+  const auto bytes = p.serialize();
+  BinaryReader r(bytes);
+  EXPECT_EQ(AdjustmentPlan::deserialize(r), p);
+}
+
+TEST(Messages, DecisionCarriesPlan) {
+  DecisionMsg d;
+  d.adjust = true;
+  d.iteration = 77;
+  d.plan.version = 2;
+  d.plan.type = AdjustmentType::kScaleIn;
+  d.plan.leave = {6};
+  const auto r = DecisionMsg::deserialize(d.serialize());
+  EXPECT_TRUE(r.adjust);
+  EXPECT_EQ(r.iteration, 77u);
+  EXPECT_EQ(r.plan, d.plan);
+}
+
+TEST(Messages, NoAdjustDecisionIsSmall) {
+  // Coordination replies travel every iteration; they must stay tiny.
+  DecisionMsg d;
+  d.iteration = 1;
+  EXPECT_LT(d.serialize().size(), 64u);
+}
+
+TEST(Messages, TypeNames) {
+  EXPECT_STREQ(to_string(AdjustmentType::kScaleOut), "scale-out");
+  EXPECT_STREQ(to_string(AdjustmentType::kScaleIn), "scale-in");
+  EXPECT_STREQ(to_string(AdjustmentType::kMigrate), "migrate");
+}
+
+}  // namespace
+}  // namespace elan

@@ -1,0 +1,60 @@
+// Tests of the parameter-server cost model (§VII comparison point).
+#include <gtest/gtest.h>
+
+#include "comm/ps_model.h"
+#include "train/throughput.h"
+
+namespace elan::comm {
+namespace {
+
+struct PsFixture {
+  topo::Topology topology{topo::TopologySpec{}};
+  topo::BandwidthModel bandwidth;
+  PsModel ps{bandwidth};
+};
+
+TEST(PsModel, SyncGrowsLinearlyWithWorkersAtScale) {
+  PsFixture f;
+  const Bytes payload = 100_MiB;
+  const double t16 = f.ps.sync_time(payload, 16);
+  const double t64 = f.ps.sync_time(payload, 64);
+  // Server-side volume dominates: 4x the workers ~ 4x the time.
+  EXPECT_NEAR(t64 / t16, 4.0, 0.5);
+}
+
+TEST(PsModel, SmallScaleIsWorkerBound) {
+  PsFixture f;
+  // With as many servers as workers, the worker side (2S) dominates and the
+  // time is roughly worker-count independent.
+  PsModel ps(f.bandwidth, PsParams{.num_servers = 8});
+  const double t2 = ps.sync_time(100_MiB, 2);
+  const double t4 = ps.sync_time(100_MiB, 4);
+  EXPECT_NEAR(t4 / t2, 1.0, 0.25);
+}
+
+TEST(PsModel, MoreServersHelp) {
+  PsFixture f;
+  PsModel few(f.bandwidth, PsParams{.num_servers = 2});
+  PsModel many(f.bandwidth, PsParams{.num_servers = 8});
+  EXPECT_GT(few.sync_time(100_MiB, 32), many.sync_time(100_MiB, 32));
+}
+
+TEST(PsModel, AllreduceWinsAtScale) {
+  // The design argument: beyond a modest worker count, allreduce
+  // synchronises strictly faster than a 4-server PS.
+  PsFixture f;
+  const train::ThroughputModel tm(f.topology, f.bandwidth);
+  const auto m = train::resnet50();
+  for (int n : {16, 32, 64}) {
+    EXPECT_GT(f.ps.sync_time(m.param_bytes(), n), tm.allreduce_time(m, n)) << n;
+  }
+}
+
+TEST(PsModel, Validation) {
+  PsFixture f;
+  EXPECT_THROW(f.ps.sync_time(1_MiB, 0), InvalidArgument);
+  EXPECT_GT(f.ps.effective_bandwidth(100_MiB, 8), 0.0);
+}
+
+}  // namespace
+}  // namespace elan::comm

@@ -1,0 +1,180 @@
+// Tests of the data-loading semantics (paper §V-C, Fig 13), including the
+// consistency property both semantics must provide: every sample is consumed
+// exactly once per epoch across arbitrary adjustment sequences.
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <set>
+
+#include "common/rng.h"
+#include "data/sampler.h"
+
+namespace elan::data {
+namespace {
+
+Dataset tiny(std::uint64_t n = 1000) { return Dataset{"tiny", n, 1_KiB}; }
+
+// ---------------------------------------------------------------------------
+// Serial semantics
+// ---------------------------------------------------------------------------
+
+TEST(SerialSampler, ConsumesContiguously) {
+  SerialSampler s(tiny());
+  const auto r1 = s.next_batch(100);
+  const auto r2 = s.next_batch(100);
+  EXPECT_EQ(r1, (SampleRange{0, 100}));
+  EXPECT_EQ(r2, (SampleRange{100, 200}));
+  EXPECT_EQ(s.remaining(), 800u);
+}
+
+TEST(SerialSampler, ClipsAtEpochBoundary) {
+  SerialSampler s(tiny(250));
+  s.next_batch(200);
+  const auto r = s.next_batch(100);
+  EXPECT_EQ(r, (SampleRange{200, 250}));
+  EXPECT_TRUE(s.epoch_done());
+  EXPECT_TRUE(s.next_batch(10).empty());
+}
+
+TEST(SerialSampler, EpochAdvance) {
+  SerialSampler s(tiny(100));
+  EXPECT_THROW(s.begin_next_epoch(), InvalidArgument);  // not exhausted
+  s.next_batch(100);
+  s.begin_next_epoch();
+  EXPECT_EQ(s.epoch(), 1u);
+  EXPECT_EQ(s.cursor(), 0u);
+}
+
+TEST(SerialSampler, StateIsOneInteger) {
+  // The paper's headline property: serial loader state is a single cursor.
+  EXPECT_LE(SerialSampler::state_bytes(), 16u);
+}
+
+TEST(SerialSampler, StateRoundTrip) {
+  SerialSampler s(tiny());
+  s.next_batch(123);
+  const auto state = s.state();
+  SerialSampler t(tiny());
+  t.restore(state);
+  EXPECT_EQ(t.cursor(), 123u);
+  EXPECT_EQ(t.state(), state);
+}
+
+TEST(SerialSampler, RestoreValidatesCursor) {
+  SerialSampler s(tiny(10));
+  SerialSampler::State bad{0, 11};
+  EXPECT_THROW(s.restore(bad), InvalidArgument);
+}
+
+// ---------------------------------------------------------------------------
+// Chunk-based semantics
+// ---------------------------------------------------------------------------
+
+TEST(ChunkSampler, PartitionsIntoChunks) {
+  ChunkSampler s(tiny(1000), 100, 4);
+  EXPECT_EQ(s.num_chunks(), 10u);
+  EXPECT_EQ(s.remaining(), 1000u);
+}
+
+TEST(ChunkSampler, WorkersConsumeOwnChunksOnly) {
+  ChunkSampler s(tiny(400), 100, 4);
+  // Chunks assigned round-robin: worker 0 owns chunks 0 (0-99).
+  const auto r = s.next_batch(0, 50);
+  EXPECT_EQ(r, (SampleRange{0, 50}));
+  const auto r1 = s.next_batch(1, 50);
+  EXPECT_EQ(r1, (SampleRange{100, 150}));
+}
+
+TEST(ChunkSampler, StateIsARecordTable) {
+  // The contrast of Fig 13: chunk state scales with the chunk count while
+  // serial state is constant.
+  ChunkSampler small(tiny(1000), 100, 4);
+  ChunkSampler big(tiny(100000), 100, 4);
+  EXPECT_GT(big.state_bytes(), small.state_bytes() * 50);
+  EXPECT_GT(small.state_bytes(), SerialSampler::state_bytes());
+}
+
+TEST(ChunkSampler, EverySampleExactlyOncePerEpoch) {
+  ChunkSampler s(tiny(1000), 64, 3);
+  std::vector<int> seen(1000, 0);
+  bool progress = true;
+  while (progress) {
+    progress = false;
+    for (int w = 0; w < 3; ++w) {
+      const auto r = s.next_batch(w, 17);
+      for (auto i = r.begin; i < r.end; ++i) ++seen[i];
+      if (!r.empty()) progress = true;
+    }
+  }
+  EXPECT_TRUE(s.epoch_done());
+  EXPECT_EQ(std::accumulate(seen.begin(), seen.end(), 0), 1000);
+  EXPECT_EQ(*std::max_element(seen.begin(), seen.end()), 1);
+}
+
+TEST(ChunkSampler, RepartitionPreservesExactlyOnce) {
+  // Property: across random interleavings of consumption and repartition,
+  // each sample is still delivered exactly once per epoch.
+  Rng rng(17);
+  for (int trial = 0; trial < 20; ++trial) {
+    const std::uint64_t n = 500 + static_cast<std::uint64_t>(rng.uniform_int(0, 500));
+    ChunkSampler s(tiny(n), 50, 2);
+    std::vector<int> seen(n, 0);
+    int workers = 2;
+    while (!s.epoch_done()) {
+      if (rng.chance(0.05)) {
+        workers = static_cast<int>(rng.uniform_int(1, 6));
+        s.repartition(workers);
+      }
+      const int w = static_cast<int>(rng.uniform_int(0, workers - 1));
+      const auto r = s.next_batch(w, static_cast<std::uint64_t>(rng.uniform_int(1, 64)));
+      for (auto i = r.begin; i < r.end; ++i) ++seen[i];
+    }
+    for (std::uint64_t i = 0; i < n; ++i) {
+      ASSERT_EQ(seen[i], 1) << "sample " << i << " trial " << trial;
+    }
+  }
+}
+
+TEST(ChunkSampler, RepartitionBalancesRemainingWork) {
+  ChunkSampler s(tiny(1000), 100, 2);
+  // Drain most of worker 0's data.
+  while (!s.next_batch(0, 100).empty()) {
+  }
+  s.repartition(4);
+  // All remaining chunks belong to workers 0..3 and loads are spread.
+  std::vector<std::uint64_t> per_worker(4, 0);
+  bool progress = true;
+  while (progress) {
+    progress = false;
+    for (int w = 0; w < 4; ++w) {
+      const auto r = s.next_batch(w, 1000);
+      per_worker[static_cast<std::size_t>(w)] += r.size();
+      if (!r.empty()) progress = true;
+    }
+  }
+  EXPECT_TRUE(s.epoch_done());
+  const auto max = *std::max_element(per_worker.begin(), per_worker.end());
+  const auto min = *std::min_element(per_worker.begin(), per_worker.end());
+  EXPECT_LE(max - min, 100u);  // within one chunk
+}
+
+TEST(ChunkSampler, NextEpochResets) {
+  ChunkSampler s(tiny(200), 50, 2);
+  while (!s.epoch_done()) {
+    s.next_batch(0, 100);
+    s.next_batch(1, 100);
+  }
+  s.begin_next_epoch();
+  EXPECT_EQ(s.epoch(), 1u);
+  EXPECT_EQ(s.remaining(), 200u);
+}
+
+TEST(Datasets, PaperDatasetsExist) {
+  EXPECT_EQ(imagenet().num_samples, 1'281'167u);
+  EXPECT_EQ(cifar100().num_samples, 50'000u);
+  EXPECT_GT(tatoeba().num_samples, 0u);
+  EXPECT_GT(wmt16().num_samples, 0u);
+}
+
+}  // namespace
+}  // namespace elan::data

@@ -1,0 +1,88 @@
+// Parameterised sweep: data semantics x engine kind x mechanism, checking
+// the exactly-once data property and replica consistency across a scale-out
+// for every combination.
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "elan/job.h"
+#include "storage/filesystem.h"
+
+namespace elan {
+namespace {
+
+using SemCase = std::tuple<DataSemantics, train::EngineKind, Mechanism>;
+
+class SemanticsSweep : public ::testing::TestWithParam<SemCase> {};
+
+TEST_P(SemanticsSweep, ExactlyOnceAndConsistentAcrossScaleOut) {
+  const auto [semantics, engine, mechanism] = GetParam();
+
+  sim::Simulator sim;
+  topo::Topology topology{topo::TopologySpec{}};
+  topo::BandwidthModel bandwidth;
+  storage::SimFilesystem fs;
+  transport::MessageBus bus(sim, bandwidth);
+  transport::KvStore kv(sim);
+
+  JobConfig cfg;
+  cfg.model = train::resnet50();
+  cfg.engine = engine;
+  cfg.mechanism = mechanism;
+  cfg.data_semantics = semantics;
+  cfg.chunk_size = 1024;
+  cfg.initial_workers = 4;
+  cfg.initial_total_batch = 128;
+  ElasticJob job(sim, topology, bandwidth, fs, bus, kv, cfg);
+  job.stop_after_iterations(100000);
+  job.on_iteration = [&](std::uint64_t) {
+    if (!job.adjustments().empty() && job.iteration() > 150) job.stop();
+  };
+  job.start();
+  sim.schedule(1.0, [&] { job.request_scale_out({4, 5, 6, 7}); });
+  sim.run();
+
+  ASSERT_EQ(job.adjustments().size(), 1u);
+  EXPECT_EQ(job.num_workers(), 8);
+  EXPECT_TRUE(job.consistent());
+
+  // Exactly-once accounting under either semantics, across the adjustment
+  // (and for S&R, across a checkpoint/restore round trip of loader state).
+  const auto epoch_samples = job.config().model.dataset.num_samples;
+  if (semantics == DataSemantics::kSerial) {
+    EXPECT_EQ(job.sampler().cursor() + job.epoch() * epoch_samples,
+              job.samples_processed());
+  } else {
+    ASSERT_NE(job.chunk_sampler(), nullptr);
+    EXPECT_EQ(job.chunk_sampler()->consumed() + job.epoch() * epoch_samples,
+              job.samples_processed());
+    EXPECT_EQ(job.chunk_sampler()->num_workers(), 8);
+  }
+
+  // Serial semantics never pays repartition; chunk semantics always does.
+  const auto& b = job.adjustments().front().breakdown;
+  if (semantics == DataSemantics::kSerial) {
+    EXPECT_DOUBLE_EQ(b.repartition, 0.0);
+  } else {
+    EXPECT_GT(b.repartition, 0.0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllCombos, SemanticsSweep,
+    ::testing::Combine(::testing::Values(DataSemantics::kSerial, DataSemantics::kChunk),
+                       ::testing::Values(train::EngineKind::kStaticGraph,
+                                         train::EngineKind::kDynamicGraph),
+                       ::testing::Values(Mechanism::kElan, Mechanism::kShutdownRestart)),
+    [](const ::testing::TestParamInfo<SemCase>& info) {
+      std::string name = std::string(to_string(std::get<0>(info.param))) + "_" +
+                         train::to_string(std::get<1>(info.param)) + "_" +
+                         (std::get<2>(info.param) == Mechanism::kElan ? "Elan" : "SnR");
+      for (auto& c : name) {
+        if (!std::isalnum(static_cast<unsigned char>(c))) c = '_';
+      }
+      return name;
+    });
+
+}  // namespace
+}  // namespace elan

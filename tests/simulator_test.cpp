@@ -1,0 +1,103 @@
+#include "sim/simulator.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace elan::sim {
+namespace {
+
+TEST(Simulator, StartsAtZero) {
+  Simulator s;
+  EXPECT_EQ(s.now(), 0.0);
+  EXPECT_EQ(s.pending(), 0u);
+}
+
+TEST(Simulator, RunsEventsInTimeOrder) {
+  Simulator s;
+  std::vector<int> order;
+  s.schedule(2.0, [&] { order.push_back(2); });
+  s.schedule(1.0, [&] { order.push_back(1); });
+  s.schedule(3.0, [&] { order.push_back(3); });
+  s.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(s.now(), 3.0);
+}
+
+TEST(Simulator, TiesBreakByInsertionOrder) {
+  Simulator s;
+  std::vector<int> order;
+  s.schedule(1.0, [&] { order.push_back(1); });
+  s.schedule(1.0, [&] { order.push_back(2); });
+  s.schedule(1.0, [&] { order.push_back(3); });
+  s.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(Simulator, NestedScheduling) {
+  Simulator s;
+  double fired_at = -1;
+  s.schedule(1.0, [&] { s.schedule(0.5, [&] { fired_at = s.now(); }); });
+  s.run();
+  EXPECT_DOUBLE_EQ(fired_at, 1.5);
+}
+
+TEST(Simulator, CancelPreventsExecution) {
+  Simulator s;
+  bool fired = false;
+  const auto id = s.schedule(1.0, [&] { fired = true; });
+  EXPECT_TRUE(s.cancel(id));
+  EXPECT_FALSE(s.cancel(id));  // second cancel is a no-op
+  s.run();
+  EXPECT_FALSE(fired);
+}
+
+TEST(Simulator, RunUntilAdvancesClockEvenWithoutEvents) {
+  Simulator s;
+  s.run_until(5.0);
+  EXPECT_EQ(s.now(), 5.0);
+}
+
+TEST(Simulator, RunUntilStopsBeforeLaterEvents) {
+  Simulator s;
+  bool early = false;
+  bool late = false;
+  s.schedule(1.0, [&] { early = true; });
+  s.schedule(10.0, [&] { late = true; });
+  s.run_until(5.0);
+  EXPECT_TRUE(early);
+  EXPECT_FALSE(late);
+  EXPECT_EQ(s.now(), 5.0);
+  s.run();
+  EXPECT_TRUE(late);
+}
+
+TEST(Simulator, RejectsNegativeDelay) {
+  Simulator s;
+  EXPECT_THROW(s.schedule(-1.0, [] {}), InvalidArgument);
+}
+
+TEST(Simulator, RejectsPastAbsoluteTime) {
+  Simulator s;
+  s.schedule(2.0, [] {});
+  s.run();
+  EXPECT_THROW(s.schedule_at(1.0, [] {}), InvalidArgument);
+}
+
+TEST(Simulator, CountsExecutedEvents) {
+  Simulator s;
+  for (int i = 0; i < 10; ++i) s.schedule(i, [] {});
+  s.run();
+  EXPECT_EQ(s.executed(), 10u);
+}
+
+TEST(Simulator, ZeroDelayRunsAtCurrentTime) {
+  Simulator s;
+  double at = -1;
+  s.schedule(1.0, [&] { s.schedule(0.0, [&] { at = s.now(); }); });
+  s.run();
+  EXPECT_DOUBLE_EQ(at, 1.0);
+}
+
+}  // namespace
+}  // namespace elan::sim

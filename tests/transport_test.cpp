@@ -1,0 +1,281 @@
+// Tests of the message bus, the reliable endpoint layer (paper §V-D fault
+// tolerance: unique ids, resend on timeout, reconnect) and the KV store.
+#include <gtest/gtest.h>
+
+#include "storage/filesystem.h"
+#include "topology/bandwidth.h"
+#include "transport/bus.h"
+#include "transport/kv_store.h"
+
+namespace elan::transport {
+namespace {
+
+struct BusFixture {
+  sim::Simulator sim;
+  topo::BandwidthModel bandwidth;
+  MessageBus bus{sim, bandwidth};
+};
+
+TEST(MessageBus, DeliversWithLatency) {
+  BusFixture f;
+  std::vector<std::string> got;
+  double delivered_at = -1;
+  f.bus.attach("b", [&](const Message& m) {
+    got.push_back(m.type);
+    delivered_at = f.sim.now();
+  });
+  Message m;
+  m.from = "a";
+  m.to = "b";
+  m.type = "ping";
+  f.bus.send(std::move(m));
+  f.sim.run();
+  ASSERT_EQ(got.size(), 1u);
+  EXPECT_EQ(got.front(), "ping");
+  EXPECT_GT(delivered_at, 0.0);
+  EXPECT_LT(delivered_at, milliseconds(1.0));
+}
+
+TEST(MessageBus, MessageToUnknownEndpointIsLost) {
+  BusFixture f;
+  Message m;
+  m.from = "a";
+  m.to = "nobody";
+  m.type = "ping";
+  f.bus.send(std::move(m));
+  f.sim.run();
+  EXPECT_EQ(f.bus.stats().to_unknown, 1u);
+  EXPECT_EQ(f.bus.stats().delivered, 0u);
+}
+
+TEST(MessageBus, AssignsUniqueIds) {
+  BusFixture f;
+  f.bus.attach("b", [](const Message&) {});
+  Message m1;
+  m1.to = "b";
+  Message m2;
+  m2.to = "b";
+  const auto id1 = f.bus.send(std::move(m1));
+  const auto id2 = f.bus.send(std::move(m2));
+  EXPECT_NE(id1, id2);
+}
+
+TEST(MessageBus, ForcedDropsApply) {
+  BusFixture f;
+  int received = 0;
+  f.bus.attach("b", [&](const Message&) { ++received; });
+  f.bus.inject_drops("a", 2);
+  for (int i = 0; i < 3; ++i) {
+    Message m;
+    m.from = "a";
+    m.to = "b";
+    m.type = "ping";
+    f.bus.send(std::move(m));
+  }
+  f.sim.run();
+  EXPECT_EQ(received, 1);
+  EXPECT_EQ(f.bus.stats().dropped, 2u);
+}
+
+TEST(MessageBus, PerConnectionOrderingDespiteJitter) {
+  // ZeroMQ semantics: messages between one (from, to) pair arrive in send
+  // order, jitter notwithstanding.
+  sim::Simulator sim;
+  topo::BandwidthModel bandwidth;
+  BusParams params;
+  params.jitter_fraction = 1.0;  // aggressive jitter to force the issue
+  params.seed = 3;
+  MessageBus bus(sim, bandwidth, params);
+  std::vector<int> order;
+  bus.attach("b", [&](const Message& m) {
+    order.push_back(static_cast<int>(m.payload[0]));
+  });
+  for (int i = 0; i < 20; ++i) {
+    Message m;
+    m.from = "a";
+    m.to = "b";
+    m.type = "seq";
+    m.payload = {static_cast<std::uint8_t>(i)};
+    bus.send(std::move(m));
+  }
+  sim.run();
+  ASSERT_EQ(order.size(), 20u);
+  EXPECT_TRUE(std::is_sorted(order.begin(), order.end()));
+}
+
+TEST(ReliableEndpoint, DeliversExactlyOnceWithoutFaults) {
+  BusFixture f;
+  int received = 0;
+  ReliableEndpoint a(f.bus, "a", [](const Message&) {});
+  ReliableEndpoint b(f.bus, "b", [&](const Message&) { ++received; });
+  a.send("b", "hello");
+  f.sim.run();
+  EXPECT_EQ(received, 1);
+  EXPECT_EQ(a.retries(), 0u);
+}
+
+TEST(ReliableEndpoint, ResendsAfterDrop) {
+  BusFixture f;
+  int received = 0;
+  ReliableEndpoint a(f.bus, "a", [](const Message&) {});
+  ReliableEndpoint b(f.bus, "b", [&](const Message&) { ++received; });
+  f.bus.inject_drops("a", 1);  // first transmission lost
+  a.send("b", "hello");
+  f.sim.run();
+  EXPECT_EQ(received, 1);
+  EXPECT_GE(a.retries(), 1u);
+}
+
+TEST(ReliableEndpoint, LostAckCausesResendButNoDuplicateDelivery) {
+  BusFixture f;
+  int received = 0;
+  ReliableEndpoint a(f.bus, "a", [](const Message&) {});
+  ReliableEndpoint b(f.bus, "b", [&](const Message&) { ++received; });
+  f.bus.inject_drops("b", 1);  // b's first ack lost
+  a.send("b", "hello");
+  f.sim.run();
+  // Sender retried, receiver de-duplicated by message id.
+  EXPECT_EQ(received, 1);
+  EXPECT_GE(a.retries(), 1u);
+}
+
+TEST(ReliableEndpoint, SurvivesHighLossRate) {
+  sim::Simulator sim;
+  topo::BandwidthModel bandwidth;
+  BusParams params;
+  params.drop_probability = 0.3;
+  params.seed = 99;
+  MessageBus bus(sim, bandwidth, params);
+  int received = 0;
+  ReliableEndpoint a(bus, "a", [](const Message&) {});
+  ReliableEndpoint b(bus, "b", [&](const Message&) { ++received; });
+  for (int i = 0; i < 50; ++i) a.send("b", "msg" + std::to_string(i));
+  sim.run();
+  EXPECT_EQ(received, 50);
+}
+
+TEST(ReliableEndpoint, ResendsReachRestartedPeer) {
+  BusFixture f;
+  int received = 0;
+  ReliableEndpoint a(f.bus, "a", [](const Message&) {});
+  ReliableEndpoint b(f.bus, "b", [&](const Message&) { ++received; });
+  b.shutdown();  // peer dies
+  a.send("b", "hello");
+  // Peer restarts (ZeroMQ reconnect semantics) while the sender is retrying.
+  f.sim.schedule(0.3, [&] { b.restart(); });
+  f.sim.run();
+  EXPECT_EQ(received, 1);
+  EXPECT_GE(a.retries(), 1u);
+}
+
+TEST(ReliableEndpoint, GivesUpAfterMaxRetries) {
+  BusFixture f;
+  ReliableParams p;
+  p.max_retries = 3;
+  p.ack_timeout = milliseconds(10);
+  ReliableEndpoint a(f.bus, "a", [](const Message&) {}, p);
+  a.send("void", "hello");
+  f.sim.run();
+  EXPECT_EQ(a.gave_up(), 1u);
+}
+
+TEST(ReliableEndpoint, ShutdownStopsRetries) {
+  BusFixture f;
+  ReliableEndpoint a(f.bus, "a", [](const Message&) {});
+  a.send("void", "hello");
+  a.shutdown();
+  f.sim.run();
+  EXPECT_EQ(a.gave_up(), 0u);
+  EXPECT_EQ(f.sim.pending(), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// KV store (simulated etcd)
+// ---------------------------------------------------------------------------
+
+TEST(KvStore, PutGetRoundTrip) {
+  sim::Simulator sim;
+  KvStore kv(sim);
+  kv.put_now("k", {1, 2, 3});
+  const auto v = kv.get_now("k");
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(*v, (std::vector<std::uint8_t>{1, 2, 3}));
+}
+
+TEST(KvStore, MissingKeyIsNullopt) {
+  sim::Simulator sim;
+  KvStore kv(sim);
+  EXPECT_FALSE(kv.get_now("missing").has_value());
+}
+
+TEST(KvStore, AsyncOpsTakeQuorumLatency) {
+  sim::Simulator sim;
+  KvStore kv(sim);
+  double put_done = -1;
+  kv.put("k", {1}, [&] { put_done = sim.now(); });
+  sim.run();
+  EXPECT_DOUBLE_EQ(put_done, kv.params().put_latency);
+}
+
+TEST(KvStore, PrefixScan) {
+  sim::Simulator sim;
+  KvStore kv(sim);
+  kv.put_now("elan/am/job1", {1});
+  kv.put_now("elan/am/job2", {2});
+  kv.put_now("other/x", {3});
+  const auto keys = kv.keys_with_prefix("elan/am/");
+  EXPECT_EQ(keys, (std::vector<std::string>{"elan/am/job1", "elan/am/job2"}));
+}
+
+TEST(KvStore, EraseRemoves) {
+  sim::Simulator sim;
+  KvStore kv(sim);
+  kv.put_now("k", {1});
+  EXPECT_TRUE(kv.erase("k"));
+  EXPECT_FALSE(kv.erase("k"));
+  EXPECT_FALSE(kv.get_now("k").has_value());
+}
+
+// ---------------------------------------------------------------------------
+// Simulated filesystem
+// ---------------------------------------------------------------------------
+
+TEST(SimFilesystem, WriteReadRoundTrip) {
+  storage::SimFilesystem fs;
+  fs.write("/ckpt/a", {9, 8, 7});
+  Seconds io = 0;
+  EXPECT_EQ(fs.read("/ckpt/a", &io), (std::vector<std::uint8_t>{9, 8, 7}));
+  EXPECT_GT(io, 0.0);
+}
+
+TEST(SimFilesystem, MissingFileThrows) {
+  storage::SimFilesystem fs;
+  EXPECT_THROW(fs.read("/missing"), NotFound);
+  EXPECT_THROW(fs.remove("/missing"), NotFound);
+}
+
+TEST(SimFilesystem, AggregateBandwidthCap) {
+  storage::SimFilesystem fs;
+  const Bytes per_client = 1_GiB;
+  const auto alone = fs.concurrent_write_time(1, per_client);
+  const auto crowded = fs.concurrent_write_time(32, per_client);
+  // 32 concurrent writers share the aggregate bandwidth: each is slower.
+  EXPECT_GT(crowded, alone * 3);
+}
+
+TEST(SimFilesystem, MetadataLatencyFloor) {
+  storage::SimFilesystem fs;
+  EXPECT_GE(fs.concurrent_read_time(1, 1), fs.params().metadata_latency);
+}
+
+TEST(SimFilesystem, TracksBytesWritten) {
+  storage::SimFilesystem fs;
+  fs.write("/a", std::vector<std::uint8_t>(100, 0));
+  fs.write("/b", std::vector<std::uint8_t>(50, 0));
+  EXPECT_EQ(fs.bytes_written(), 150u);
+  EXPECT_EQ(fs.list().size(), 2u);
+  EXPECT_EQ(fs.size("/a"), 100u);
+}
+
+}  // namespace
+}  // namespace elan::transport

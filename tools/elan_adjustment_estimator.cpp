@@ -1,0 +1,97 @@
+// elan_adjustment_estimator — what would this resource adjustment cost?
+//
+//   elan_adjustment_estimator --model ResNet-50 --type scale-out --from 16 --to 32
+//
+// Prints the predicted training pause under Elan and Shutdown-&-Restart plus
+// the replication plan Elan would execute (source -> destination, link,
+// schedule), and the cluster topology in play.
+#include <cstdio>
+
+#include "baselines/adjustment_cost.h"
+#include "common/flags.h"
+#include "elan/replication.h"
+#include "topology/printer.h"
+
+namespace {
+
+using namespace elan;
+
+AdjustmentType parse_type(const std::string& s) {
+  if (s == "scale-out") return AdjustmentType::kScaleOut;
+  if (s == "scale-in") return AdjustmentType::kScaleIn;
+  if (s == "migrate") return AdjustmentType::kMigrate;
+  throw InvalidArgument("type must be scale-out, scale-in or migrate");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Flags flags;
+  flags.define("model", "ResNet-50",
+               "ResNet-50, VGG-19, MobileNet-v2, Seq2Seq or Transformer");
+  flags.define("type", "scale-out", "scale-out, scale-in or migrate");
+  flags.define("from", "16", "workers before the adjustment");
+  flags.define("to", "32", "workers after (for migrate: number moved)");
+  flags.define("nodes", "8", "cluster nodes (8 GPUs each)");
+  flags.define("show-topology", "false", "print the link matrix of one node");
+  flags.define("show-plan", "true", "print Elan's replication plan");
+
+  try {
+    flags.parse(argc, argv);
+    if (flags.help_requested()) {
+      std::fputs(flags.usage("elan_adjustment_estimator").c_str(), stdout);
+      return 0;
+    }
+
+    const auto model = train::model_by_name(flags.get("model"));
+    const auto type = parse_type(flags.get("type"));
+    const int from = static_cast<int>(flags.get_int("from"));
+    const int to = static_cast<int>(flags.get_int("to"));
+    topo::Topology topology{
+        topo::TopologySpec{.nodes = static_cast<int>(flags.get_int("nodes"))}};
+    topo::BandwidthModel bandwidth;
+    storage::SimFilesystem fs;
+    baselines::AdjustmentCostModel costs(topology, bandwidth, fs);
+
+    if (flags.get_bool("show-topology")) {
+      std::printf("%s\n%s\n", topo::link_matrix(topology).c_str(),
+                  topo::legend().c_str());
+    }
+
+    const int after = type == AdjustmentType::kMigrate ? from : to;
+    std::printf("%s %s: %d -> %d workers (state: %s GPU + loader/runtime CPU)\n",
+                model.name.c_str(), to_string(type), from, after,
+                format_bytes(model.gpu_state_bytes()).c_str());
+    for (auto system : {baselines::System::kElan, baselines::System::kShutdownRestart}) {
+      const auto t = costs.pause_time(system, type, model, from, after);
+      std::printf("  %-5s pause: %s\n", to_string(system), format_seconds(t).c_str());
+    }
+    std::printf("  new-worker ready (async, off critical path): %s\n",
+                format_seconds(costs.new_worker_ready_time()).c_str());
+
+    if (flags.get_bool("show-plan") && type != AdjustmentType::kScaleIn) {
+      ReplicationRequest req;
+      const int joining = type == AdjustmentType::kMigrate ? to : to - from;
+      for (int i = 0; i < from; ++i) req.existing.emplace(i, i);
+      for (int i = 0; i < joining; ++i) req.joining.emplace(from + i, from + i);
+      req.gpu_state_bytes = model.gpu_state_bytes();
+      req.cpu_state_bytes = 65_KiB;
+      const ReplicationPlanner planner(topology, bandwidth);
+      const auto plan = planner.plan(req);
+      std::printf("\nreplication plan (%zu transfers, makespan %s, %.1fx concurrency):\n",
+                  plan.transfers.size(), format_seconds(plan.total_time).c_str(),
+                  plan.total_time > 0 ? plan.serial_time / plan.total_time : 1.0);
+      for (const auto& t : plan.transfers) {
+        std::printf("  w%-3d(GPU%-2d) -> w%-3d(GPU%-2d)  %-11s start %-9s dur %s\n",
+                    t.source_worker, t.source_gpu, t.dest_worker, t.dest_gpu,
+                    topo::to_string(t.level), format_seconds(t.start).c_str(),
+                    format_seconds(t.duration()).c_str());
+      }
+    }
+    return 0;
+  } catch (const Error& e) {
+    std::fprintf(stderr, "error: %s\n%s", e.what(),
+                 flags.usage("elan_adjustment_estimator").c_str());
+    return 1;
+  }
+}
