@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_coordination.dir/ablation_coordination.cpp.o"
+  "CMakeFiles/ablation_coordination.dir/ablation_coordination.cpp.o.d"
+  "ablation_coordination"
+  "ablation_coordination.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_coordination.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

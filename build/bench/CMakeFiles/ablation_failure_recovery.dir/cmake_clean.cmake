@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_failure_recovery.dir/ablation_failure_recovery.cpp.o"
+  "CMakeFiles/ablation_failure_recovery.dir/ablation_failure_recovery.cpp.o.d"
+  "ablation_failure_recovery"
+  "ablation_failure_recovery.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_failure_recovery.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_placement.dir/ablation_placement.cpp.o"
+  "CMakeFiles/ablation_placement.dir/ablation_placement.cpp.o.d"
+  "ablation_placement"
+  "ablation_placement.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_placement.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_ps_vs_allreduce.dir/ablation_ps_vs_allreduce.cpp.o"
+  "CMakeFiles/ablation_ps_vs_allreduce.dir/ablation_ps_vs_allreduce.cpp.o.d"
+  "ablation_ps_vs_allreduce"
+  "ablation_ps_vs_allreduce.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_ps_vs_allreduce.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

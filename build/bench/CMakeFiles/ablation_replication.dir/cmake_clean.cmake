@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_replication.dir/ablation_replication.cpp.o"
+  "CMakeFiles/ablation_replication.dir/ablation_replication.cpp.o.d"
+  "ablation_replication"
+  "ablation_replication.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_replication.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

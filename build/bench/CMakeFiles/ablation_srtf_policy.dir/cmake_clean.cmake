@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_srtf_policy.dir/ablation_srtf_policy.cpp.o"
+  "CMakeFiles/ablation_srtf_policy.dir/ablation_srtf_policy.cpp.o.d"
+  "ablation_srtf_policy"
+  "ablation_srtf_policy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_srtf_policy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

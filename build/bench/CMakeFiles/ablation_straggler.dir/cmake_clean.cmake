@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_straggler.dir/ablation_straggler.cpp.o"
+  "CMakeFiles/ablation_straggler.dir/ablation_straggler.cpp.o.d"
+  "ablation_straggler"
+  "ablation_straggler.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_straggler.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig13_data_semantics.dir/fig13_data_semantics.cpp.o"
+  "CMakeFiles/fig13_data_semantics.dir/fig13_data_semantics.cpp.o.d"
+  "fig13_data_semantics"
+  "fig13_data_semantics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_data_semantics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig14_runtime_overhead.dir/fig14_runtime_overhead.cpp.o"
+  "CMakeFiles/fig14_runtime_overhead.dir/fig14_runtime_overhead.cpp.o.d"
+  "fig14_runtime_overhead"
+  "fig14_runtime_overhead.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig14_runtime_overhead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

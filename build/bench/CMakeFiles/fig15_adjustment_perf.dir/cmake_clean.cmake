@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig15_adjustment_perf.dir/fig15_adjustment_perf.cpp.o"
+  "CMakeFiles/fig15_adjustment_perf.dir/fig15_adjustment_perf.cpp.o.d"
+  "fig15_adjustment_perf"
+  "fig15_adjustment_perf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig15_adjustment_perf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig16_litz_throughput.dir/fig16_litz_throughput.cpp.o"
+  "CMakeFiles/fig16_litz_throughput.dir/fig16_litz_throughput.cpp.o.d"
+  "fig16_litz_throughput"
+  "fig16_litz_throughput.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig16_litz_throughput.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

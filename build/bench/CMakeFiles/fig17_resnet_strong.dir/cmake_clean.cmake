@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig17_resnet_strong.dir/fig17_resnet_strong.cpp.o"
+  "CMakeFiles/fig17_resnet_strong.dir/fig17_resnet_strong.cpp.o.d"
+  "fig17_resnet_strong"
+  "fig17_resnet_strong.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig17_resnet_strong.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

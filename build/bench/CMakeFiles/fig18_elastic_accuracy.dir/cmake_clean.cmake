@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig18_elastic_accuracy.dir/fig18_elastic_accuracy.cpp.o"
+  "CMakeFiles/fig18_elastic_accuracy.dir/fig18_elastic_accuracy.cpp.o.d"
+  "fig18_elastic_accuracy"
+  "fig18_elastic_accuracy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig18_elastic_accuracy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig19_time_accuracy.dir/fig19_time_accuracy.cpp.o"
+  "CMakeFiles/fig19_time_accuracy.dir/fig19_time_accuracy.cpp.o.d"
+  "fig19_time_accuracy"
+  "fig19_time_accuracy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig19_time_accuracy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig20_sched_stats.dir/fig20_sched_stats.cpp.o"
+  "CMakeFiles/fig20_sched_stats.dir/fig20_sched_stats.cpp.o.d"
+  "fig20_sched_stats"
+  "fig20_sched_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig20_sched_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig21_utilization.dir/fig21_utilization.cpp.o"
+  "CMakeFiles/fig21_utilization.dir/fig21_utilization.cpp.o.d"
+  "fig21_utilization"
+  "fig21_utilization.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig21_utilization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

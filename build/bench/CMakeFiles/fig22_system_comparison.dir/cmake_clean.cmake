@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig22_system_comparison.dir/fig22_system_comparison.cpp.o"
+  "CMakeFiles/fig22_system_comparison.dir/fig22_system_comparison.cpp.o.d"
+  "fig22_system_comparison"
+  "fig22_system_comparison.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig22_system_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

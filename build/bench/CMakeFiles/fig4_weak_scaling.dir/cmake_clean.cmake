@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_weak_scaling.dir/fig4_weak_scaling.cpp.o"
+  "CMakeFiles/fig4_weak_scaling.dir/fig4_weak_scaling.cpp.o.d"
+  "fig4_weak_scaling"
+  "fig4_weak_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_weak_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

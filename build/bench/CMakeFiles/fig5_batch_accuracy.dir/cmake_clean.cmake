@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_batch_accuracy.dir/fig5_batch_accuracy.cpp.o"
+  "CMakeFiles/fig5_batch_accuracy.dir/fig5_batch_accuracy.cpp.o.d"
+  "fig5_batch_accuracy"
+  "fig5_batch_accuracy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_batch_accuracy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

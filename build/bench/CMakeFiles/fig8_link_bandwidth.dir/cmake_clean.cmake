@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_link_bandwidth.dir/fig8_link_bandwidth.cpp.o"
+  "CMakeFiles/fig8_link_bandwidth.dir/fig8_link_bandwidth.cpp.o.d"
+  "fig8_link_bandwidth"
+  "fig8_link_bandwidth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_link_bandwidth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_models.dir/table1_models.cpp.o"
+  "CMakeFiles/table1_models.dir/table1_models.cpp.o.d"
+  "table1_models"
+  "table1_models.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_models.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_states.dir/table2_states.cpp.o"
+  "CMakeFiles/table2_states.dir/table2_states.cpp.o.d"
+  "table2_states"
+  "table2_states.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_states.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_api.dir/table3_api.cpp.o"
+  "CMakeFiles/table3_api.dir/table3_api.cpp.o.d"
+  "table3_api"
+  "table3_api.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_api.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

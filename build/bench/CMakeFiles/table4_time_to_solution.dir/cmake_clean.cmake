@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table4_time_to_solution.dir/table4_time_to_solution.cpp.o"
+  "CMakeFiles/table4_time_to_solution.dir/table4_time_to_solution.cpp.o.d"
+  "table4_time_to_solution"
+  "table4_time_to_solution.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table4_time_to_solution.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adabatch_elastic.dir/adabatch_elastic.cpp.o"
+  "CMakeFiles/adabatch_elastic.dir/adabatch_elastic.cpp.o.d"
+  "adabatch_elastic"
+  "adabatch_elastic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adabatch_elastic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for adabatch_elastic.
+# This may be replaced when dependencies are built.

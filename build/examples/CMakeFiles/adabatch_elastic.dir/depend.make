@@ -1,0 +1,2 @@
+# Empty dependencies file for adabatch_elastic.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/elastic_scheduling.dir/elastic_scheduling.cpp.o"
+  "CMakeFiles/elastic_scheduling.dir/elastic_scheduling.cpp.o.d"
+  "elastic_scheduling"
+  "elastic_scheduling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/elastic_scheduling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

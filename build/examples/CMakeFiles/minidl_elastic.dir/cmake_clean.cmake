@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/minidl_elastic.dir/minidl_elastic.cpp.o"
+  "CMakeFiles/minidl_elastic.dir/minidl_elastic.cpp.o.d"
+  "minidl_elastic"
+  "minidl_elastic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/minidl_elastic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for minidl_elastic.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multi_job_cluster.dir/multi_job_cluster.cpp.o"
+  "CMakeFiles/multi_job_cluster.dir/multi_job_cluster.cpp.o.d"
+  "multi_job_cluster"
+  "multi_job_cluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multi_job_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for multi_job_cluster.
+# This may be replaced when dependencies are built.

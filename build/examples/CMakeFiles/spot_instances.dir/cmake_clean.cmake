@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spot_instances.dir/spot_instances.cpp.o"
+  "CMakeFiles/spot_instances.dir/spot_instances.cpp.o.d"
+  "spot_instances"
+  "spot_instances.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spot_instances.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for spot_instances.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,64 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baselines/adjustment_cost.cpp" "src/CMakeFiles/elan.dir/baselines/adjustment_cost.cpp.o" "gcc" "src/CMakeFiles/elan.dir/baselines/adjustment_cost.cpp.o.d"
+  "/root/repo/src/baselines/litz.cpp" "src/CMakeFiles/elan.dir/baselines/litz.cpp.o" "gcc" "src/CMakeFiles/elan.dir/baselines/litz.cpp.o.d"
+  "/root/repo/src/comm/group.cpp" "src/CMakeFiles/elan.dir/comm/group.cpp.o" "gcc" "src/CMakeFiles/elan.dir/comm/group.cpp.o.d"
+  "/root/repo/src/comm/ps_model.cpp" "src/CMakeFiles/elan.dir/comm/ps_model.cpp.o" "gcc" "src/CMakeFiles/elan.dir/comm/ps_model.cpp.o.d"
+  "/root/repo/src/comm/ring_allreduce.cpp" "src/CMakeFiles/elan.dir/comm/ring_allreduce.cpp.o" "gcc" "src/CMakeFiles/elan.dir/comm/ring_allreduce.cpp.o.d"
+  "/root/repo/src/common/blob.cpp" "src/CMakeFiles/elan.dir/common/blob.cpp.o" "gcc" "src/CMakeFiles/elan.dir/common/blob.cpp.o.d"
+  "/root/repo/src/common/flags.cpp" "src/CMakeFiles/elan.dir/common/flags.cpp.o" "gcc" "src/CMakeFiles/elan.dir/common/flags.cpp.o.d"
+  "/root/repo/src/common/log.cpp" "src/CMakeFiles/elan.dir/common/log.cpp.o" "gcc" "src/CMakeFiles/elan.dir/common/log.cpp.o.d"
+  "/root/repo/src/common/rng.cpp" "src/CMakeFiles/elan.dir/common/rng.cpp.o" "gcc" "src/CMakeFiles/elan.dir/common/rng.cpp.o.d"
+  "/root/repo/src/common/stats.cpp" "src/CMakeFiles/elan.dir/common/stats.cpp.o" "gcc" "src/CMakeFiles/elan.dir/common/stats.cpp.o.d"
+  "/root/repo/src/common/table.cpp" "src/CMakeFiles/elan.dir/common/table.cpp.o" "gcc" "src/CMakeFiles/elan.dir/common/table.cpp.o.d"
+  "/root/repo/src/common/units.cpp" "src/CMakeFiles/elan.dir/common/units.cpp.o" "gcc" "src/CMakeFiles/elan.dir/common/units.cpp.o.d"
+  "/root/repo/src/data/dataset.cpp" "src/CMakeFiles/elan.dir/data/dataset.cpp.o" "gcc" "src/CMakeFiles/elan.dir/data/dataset.cpp.o.d"
+  "/root/repo/src/data/sampler.cpp" "src/CMakeFiles/elan.dir/data/sampler.cpp.o" "gcc" "src/CMakeFiles/elan.dir/data/sampler.cpp.o.d"
+  "/root/repo/src/elan/hooks.cpp" "src/CMakeFiles/elan.dir/elan/hooks.cpp.o" "gcc" "src/CMakeFiles/elan.dir/elan/hooks.cpp.o.d"
+  "/root/repo/src/elan/hybrid_scaling.cpp" "src/CMakeFiles/elan.dir/elan/hybrid_scaling.cpp.o" "gcc" "src/CMakeFiles/elan.dir/elan/hybrid_scaling.cpp.o.d"
+  "/root/repo/src/elan/job.cpp" "src/CMakeFiles/elan.dir/elan/job.cpp.o" "gcc" "src/CMakeFiles/elan.dir/elan/job.cpp.o.d"
+  "/root/repo/src/elan/master.cpp" "src/CMakeFiles/elan.dir/elan/master.cpp.o" "gcc" "src/CMakeFiles/elan.dir/elan/master.cpp.o.d"
+  "/root/repo/src/elan/messages.cpp" "src/CMakeFiles/elan.dir/elan/messages.cpp.o" "gcc" "src/CMakeFiles/elan.dir/elan/messages.cpp.o.d"
+  "/root/repo/src/elan/replication.cpp" "src/CMakeFiles/elan.dir/elan/replication.cpp.o" "gcc" "src/CMakeFiles/elan.dir/elan/replication.cpp.o.d"
+  "/root/repo/src/elan/worker.cpp" "src/CMakeFiles/elan.dir/elan/worker.cpp.o" "gcc" "src/CMakeFiles/elan.dir/elan/worker.cpp.o.d"
+  "/root/repo/src/experiments/adabatch.cpp" "src/CMakeFiles/elan.dir/experiments/adabatch.cpp.o" "gcc" "src/CMakeFiles/elan.dir/experiments/adabatch.cpp.o.d"
+  "/root/repo/src/memory/device_memory.cpp" "src/CMakeFiles/elan.dir/memory/device_memory.cpp.o" "gcc" "src/CMakeFiles/elan.dir/memory/device_memory.cpp.o.d"
+  "/root/repo/src/minidl/dataset.cpp" "src/CMakeFiles/elan.dir/minidl/dataset.cpp.o" "gcc" "src/CMakeFiles/elan.dir/minidl/dataset.cpp.o.d"
+  "/root/repo/src/minidl/elan_engine.cpp" "src/CMakeFiles/elan.dir/minidl/elan_engine.cpp.o" "gcc" "src/CMakeFiles/elan.dir/minidl/elan_engine.cpp.o.d"
+  "/root/repo/src/minidl/mlp.cpp" "src/CMakeFiles/elan.dir/minidl/mlp.cpp.o" "gcc" "src/CMakeFiles/elan.dir/minidl/mlp.cpp.o.d"
+  "/root/repo/src/minidl/parallel.cpp" "src/CMakeFiles/elan.dir/minidl/parallel.cpp.o" "gcc" "src/CMakeFiles/elan.dir/minidl/parallel.cpp.o.d"
+  "/root/repo/src/minidl/tensor.cpp" "src/CMakeFiles/elan.dir/minidl/tensor.cpp.o" "gcc" "src/CMakeFiles/elan.dir/minidl/tensor.cpp.o.d"
+  "/root/repo/src/sched/cluster.cpp" "src/CMakeFiles/elan.dir/sched/cluster.cpp.o" "gcc" "src/CMakeFiles/elan.dir/sched/cluster.cpp.o.d"
+  "/root/repo/src/sched/live_scheduler.cpp" "src/CMakeFiles/elan.dir/sched/live_scheduler.cpp.o" "gcc" "src/CMakeFiles/elan.dir/sched/live_scheduler.cpp.o.d"
+  "/root/repo/src/sched/metrics.cpp" "src/CMakeFiles/elan.dir/sched/metrics.cpp.o" "gcc" "src/CMakeFiles/elan.dir/sched/metrics.cpp.o.d"
+  "/root/repo/src/sched/trace.cpp" "src/CMakeFiles/elan.dir/sched/trace.cpp.o" "gcc" "src/CMakeFiles/elan.dir/sched/trace.cpp.o.d"
+  "/root/repo/src/sched/trace_io.cpp" "src/CMakeFiles/elan.dir/sched/trace_io.cpp.o" "gcc" "src/CMakeFiles/elan.dir/sched/trace_io.cpp.o.d"
+  "/root/repo/src/sim/simulator.cpp" "src/CMakeFiles/elan.dir/sim/simulator.cpp.o" "gcc" "src/CMakeFiles/elan.dir/sim/simulator.cpp.o.d"
+  "/root/repo/src/storage/filesystem.cpp" "src/CMakeFiles/elan.dir/storage/filesystem.cpp.o" "gcc" "src/CMakeFiles/elan.dir/storage/filesystem.cpp.o.d"
+  "/root/repo/src/topology/bandwidth.cpp" "src/CMakeFiles/elan.dir/topology/bandwidth.cpp.o" "gcc" "src/CMakeFiles/elan.dir/topology/bandwidth.cpp.o.d"
+  "/root/repo/src/topology/printer.cpp" "src/CMakeFiles/elan.dir/topology/printer.cpp.o" "gcc" "src/CMakeFiles/elan.dir/topology/printer.cpp.o.d"
+  "/root/repo/src/topology/topology.cpp" "src/CMakeFiles/elan.dir/topology/topology.cpp.o" "gcc" "src/CMakeFiles/elan.dir/topology/topology.cpp.o.d"
+  "/root/repo/src/train/convergence.cpp" "src/CMakeFiles/elan.dir/train/convergence.cpp.o" "gcc" "src/CMakeFiles/elan.dir/train/convergence.cpp.o.d"
+  "/root/repo/src/train/engine.cpp" "src/CMakeFiles/elan.dir/train/engine.cpp.o" "gcc" "src/CMakeFiles/elan.dir/train/engine.cpp.o.d"
+  "/root/repo/src/train/lr_schedule.cpp" "src/CMakeFiles/elan.dir/train/lr_schedule.cpp.o" "gcc" "src/CMakeFiles/elan.dir/train/lr_schedule.cpp.o.d"
+  "/root/repo/src/train/models.cpp" "src/CMakeFiles/elan.dir/train/models.cpp.o" "gcc" "src/CMakeFiles/elan.dir/train/models.cpp.o.d"
+  "/root/repo/src/train/optimizer.cpp" "src/CMakeFiles/elan.dir/train/optimizer.cpp.o" "gcc" "src/CMakeFiles/elan.dir/train/optimizer.cpp.o.d"
+  "/root/repo/src/train/throughput.cpp" "src/CMakeFiles/elan.dir/train/throughput.cpp.o" "gcc" "src/CMakeFiles/elan.dir/train/throughput.cpp.o.d"
+  "/root/repo/src/transport/bus.cpp" "src/CMakeFiles/elan.dir/transport/bus.cpp.o" "gcc" "src/CMakeFiles/elan.dir/transport/bus.cpp.o.d"
+  "/root/repo/src/transport/kv_store.cpp" "src/CMakeFiles/elan.dir/transport/kv_store.cpp.o" "gcc" "src/CMakeFiles/elan.dir/transport/kv_store.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,52 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/baselines_test.cpp" "tests/CMakeFiles/elan_tests.dir/baselines_test.cpp.o" "gcc" "tests/CMakeFiles/elan_tests.dir/baselines_test.cpp.o.d"
+  "/root/repo/tests/comm_test.cpp" "tests/CMakeFiles/elan_tests.dir/comm_test.cpp.o" "gcc" "tests/CMakeFiles/elan_tests.dir/comm_test.cpp.o.d"
+  "/root/repo/tests/common_test.cpp" "tests/CMakeFiles/elan_tests.dir/common_test.cpp.o" "gcc" "tests/CMakeFiles/elan_tests.dir/common_test.cpp.o.d"
+  "/root/repo/tests/convergence_test.cpp" "tests/CMakeFiles/elan_tests.dir/convergence_test.cpp.o" "gcc" "tests/CMakeFiles/elan_tests.dir/convergence_test.cpp.o.d"
+  "/root/repo/tests/coverage_test.cpp" "tests/CMakeFiles/elan_tests.dir/coverage_test.cpp.o" "gcc" "tests/CMakeFiles/elan_tests.dir/coverage_test.cpp.o.d"
+  "/root/repo/tests/experiments_test.cpp" "tests/CMakeFiles/elan_tests.dir/experiments_test.cpp.o" "gcc" "tests/CMakeFiles/elan_tests.dir/experiments_test.cpp.o.d"
+  "/root/repo/tests/flags_test.cpp" "tests/CMakeFiles/elan_tests.dir/flags_test.cpp.o" "gcc" "tests/CMakeFiles/elan_tests.dir/flags_test.cpp.o.d"
+  "/root/repo/tests/headers_test.cpp" "tests/CMakeFiles/elan_tests.dir/headers_test.cpp.o" "gcc" "tests/CMakeFiles/elan_tests.dir/headers_test.cpp.o.d"
+  "/root/repo/tests/hooks_test.cpp" "tests/CMakeFiles/elan_tests.dir/hooks_test.cpp.o" "gcc" "tests/CMakeFiles/elan_tests.dir/hooks_test.cpp.o.d"
+  "/root/repo/tests/hybrid_scaling_test.cpp" "tests/CMakeFiles/elan_tests.dir/hybrid_scaling_test.cpp.o" "gcc" "tests/CMakeFiles/elan_tests.dir/hybrid_scaling_test.cpp.o.d"
+  "/root/repo/tests/job_test.cpp" "tests/CMakeFiles/elan_tests.dir/job_test.cpp.o" "gcc" "tests/CMakeFiles/elan_tests.dir/job_test.cpp.o.d"
+  "/root/repo/tests/live_scheduler_test.cpp" "tests/CMakeFiles/elan_tests.dir/live_scheduler_test.cpp.o" "gcc" "tests/CMakeFiles/elan_tests.dir/live_scheduler_test.cpp.o.d"
+  "/root/repo/tests/master_test.cpp" "tests/CMakeFiles/elan_tests.dir/master_test.cpp.o" "gcc" "tests/CMakeFiles/elan_tests.dir/master_test.cpp.o.d"
+  "/root/repo/tests/memory_test.cpp" "tests/CMakeFiles/elan_tests.dir/memory_test.cpp.o" "gcc" "tests/CMakeFiles/elan_tests.dir/memory_test.cpp.o.d"
+  "/root/repo/tests/messages_test.cpp" "tests/CMakeFiles/elan_tests.dir/messages_test.cpp.o" "gcc" "tests/CMakeFiles/elan_tests.dir/messages_test.cpp.o.d"
+  "/root/repo/tests/minidl_job_test.cpp" "tests/CMakeFiles/elan_tests.dir/minidl_job_test.cpp.o" "gcc" "tests/CMakeFiles/elan_tests.dir/minidl_job_test.cpp.o.d"
+  "/root/repo/tests/minidl_test.cpp" "tests/CMakeFiles/elan_tests.dir/minidl_test.cpp.o" "gcc" "tests/CMakeFiles/elan_tests.dir/minidl_test.cpp.o.d"
+  "/root/repo/tests/procedure_test.cpp" "tests/CMakeFiles/elan_tests.dir/procedure_test.cpp.o" "gcc" "tests/CMakeFiles/elan_tests.dir/procedure_test.cpp.o.d"
+  "/root/repo/tests/property_sweep_test.cpp" "tests/CMakeFiles/elan_tests.dir/property_sweep_test.cpp.o" "gcc" "tests/CMakeFiles/elan_tests.dir/property_sweep_test.cpp.o.d"
+  "/root/repo/tests/property_test.cpp" "tests/CMakeFiles/elan_tests.dir/property_test.cpp.o" "gcc" "tests/CMakeFiles/elan_tests.dir/property_test.cpp.o.d"
+  "/root/repo/tests/ps_model_test.cpp" "tests/CMakeFiles/elan_tests.dir/ps_model_test.cpp.o" "gcc" "tests/CMakeFiles/elan_tests.dir/ps_model_test.cpp.o.d"
+  "/root/repo/tests/replication_test.cpp" "tests/CMakeFiles/elan_tests.dir/replication_test.cpp.o" "gcc" "tests/CMakeFiles/elan_tests.dir/replication_test.cpp.o.d"
+  "/root/repo/tests/ring_allreduce_test.cpp" "tests/CMakeFiles/elan_tests.dir/ring_allreduce_test.cpp.o" "gcc" "tests/CMakeFiles/elan_tests.dir/ring_allreduce_test.cpp.o.d"
+  "/root/repo/tests/sampler_test.cpp" "tests/CMakeFiles/elan_tests.dir/sampler_test.cpp.o" "gcc" "tests/CMakeFiles/elan_tests.dir/sampler_test.cpp.o.d"
+  "/root/repo/tests/sched_test.cpp" "tests/CMakeFiles/elan_tests.dir/sched_test.cpp.o" "gcc" "tests/CMakeFiles/elan_tests.dir/sched_test.cpp.o.d"
+  "/root/repo/tests/semantics_sweep_test.cpp" "tests/CMakeFiles/elan_tests.dir/semantics_sweep_test.cpp.o" "gcc" "tests/CMakeFiles/elan_tests.dir/semantics_sweep_test.cpp.o.d"
+  "/root/repo/tests/simulator_test.cpp" "tests/CMakeFiles/elan_tests.dir/simulator_test.cpp.o" "gcc" "tests/CMakeFiles/elan_tests.dir/simulator_test.cpp.o.d"
+  "/root/repo/tests/throughput_test.cpp" "tests/CMakeFiles/elan_tests.dir/throughput_test.cpp.o" "gcc" "tests/CMakeFiles/elan_tests.dir/throughput_test.cpp.o.d"
+  "/root/repo/tests/topology_test.cpp" "tests/CMakeFiles/elan_tests.dir/topology_test.cpp.o" "gcc" "tests/CMakeFiles/elan_tests.dir/topology_test.cpp.o.d"
+  "/root/repo/tests/trace_io_test.cpp" "tests/CMakeFiles/elan_tests.dir/trace_io_test.cpp.o" "gcc" "tests/CMakeFiles/elan_tests.dir/trace_io_test.cpp.o.d"
+  "/root/repo/tests/train_test.cpp" "tests/CMakeFiles/elan_tests.dir/train_test.cpp.o" "gcc" "tests/CMakeFiles/elan_tests.dir/train_test.cpp.o.d"
+  "/root/repo/tests/transport_test.cpp" "tests/CMakeFiles/elan_tests.dir/transport_test.cpp.o" "gcc" "tests/CMakeFiles/elan_tests.dir/transport_test.cpp.o.d"
+  "/root/repo/tests/worker_test.cpp" "tests/CMakeFiles/elan_tests.dir/worker_test.cpp.o" "gcc" "tests/CMakeFiles/elan_tests.dir/worker_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/elan.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

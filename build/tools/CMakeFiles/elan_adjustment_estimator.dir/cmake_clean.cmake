@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/elan_adjustment_estimator.dir/elan_adjustment_estimator.cpp.o"
+  "CMakeFiles/elan_adjustment_estimator.dir/elan_adjustment_estimator.cpp.o.d"
+  "elan_adjustment_estimator"
+  "elan_adjustment_estimator.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/elan_adjustment_estimator.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/elan_cluster_sim.dir/elan_cluster_sim.cpp.o"
+  "CMakeFiles/elan_cluster_sim.dir/elan_cluster_sim.cpp.o.d"
+  "elan_cluster_sim"
+  "elan_cluster_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/elan_cluster_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

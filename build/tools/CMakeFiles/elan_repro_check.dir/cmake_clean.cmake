@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/elan_repro_check.dir/elan_repro_check.cpp.o"
+  "CMakeFiles/elan_repro_check.dir/elan_repro_check.cpp.o.d"
+  "elan_repro_check"
+  "elan_repro_check.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/elan_repro_check.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
