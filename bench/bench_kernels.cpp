@@ -1,0 +1,294 @@
+// Micro-benchmark for the parallel execution runtime (see DESIGN.md,
+// "Parallel runtime"): serial reference kernels vs the tiled/pooled kernels
+// at several sizes and thread counts, across the three layers the runtime
+// touches — raw matmul, a full 4-replica DataParallelTrainer::step, and the
+// functional gradient allreduce. Prints an ASCII table and writes
+// BENCH_kernels.json (machine-readable, seeds the bench trajectory).
+//
+//   ./bench_kernels [--threads N] [--repeats R] [--out BENCH_kernels.json]
+//
+// The serial baseline is KernelMode::kReference — the original naive
+// triple-loop kernels over the bounds-checked accessor, stepping replicas
+// one after another. The parallel runs use the tiled kernels with the global
+// pool at 1/2/4/N threads; every parallel run is checked to be bit-identical
+// to the serial baseline before its timing is reported.
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/flags.h"
+#include "common/thread_pool.h"
+#include "comm/group.h"
+#include "minidl/dataset.h"
+#include "minidl/parallel.h"
+#include "minidl/tensor.h"
+
+namespace elan::bench {
+namespace {
+
+using minidl::KernelMode;
+using minidl::ScopedKernelMode;
+using minidl::Tensor;
+
+double now_ms() {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+/// Best-of-`repeats` wall time of `fn` in milliseconds.
+template <typename Fn>
+double time_ms(int repeats, Fn&& fn) {
+  double best = 0.0;
+  for (int r = 0; r < repeats; ++r) {
+    const double t0 = now_ms();
+    fn();
+    const double t1 = now_ms();
+    if (r == 0 || t1 - t0 < best) best = t1 - t0;
+  }
+  return best;
+}
+
+bool bit_equal(const Tensor& a, const Tensor& b) {
+  if (!a.same_shape(b)) return false;
+  const auto da = a.data();
+  const auto db = b.data();
+  for (std::size_t i = 0; i < da.size(); ++i) {
+    if (da[i] != db[i]) return false;
+  }
+  return true;
+}
+
+struct Timing {
+  std::string name;
+  double serial_ms = 0.0;
+  std::vector<std::pair<int, double>> parallel_ms;  // (threads, ms)
+  bool identical = true;
+
+  double best_parallel() const {
+    double best = parallel_ms.front().second;
+    for (const auto& [t, ms] : parallel_ms) best = std::min(best, ms);
+    return best;
+  }
+  double speedup_at(int threads) const {
+    for (const auto& [t, ms] : parallel_ms) {
+      if (t == threads) return serial_ms / ms;
+    }
+    return 0.0;
+  }
+};
+
+std::vector<int> thread_counts(int flag_threads) {
+  std::vector<int> counts{1, 2, 4};
+  bool have = false;
+  for (int c : counts) have = have || c == flag_threads;
+  if (!have) counts.push_back(flag_threads);
+  return counts;
+}
+
+Timing bench_matmul(int size, int repeats, const std::vector<int>& counts) {
+  Timing t;
+  t.name = "matmul_" + std::to_string(size);
+  Tensor a(size, size);
+  Tensor b(size, size);
+  a.init_glorot(11);
+  b.init_glorot(13);
+
+  Tensor expected;
+  {
+    ScopedKernelMode mode(KernelMode::kReference);
+    ThreadPool::set_global_threads(1);
+    t.serial_ms = time_ms(repeats, [&] { expected = minidl::matmul(a, b); });
+  }
+  ScopedKernelMode mode(KernelMode::kTiled);
+  for (int threads : counts) {
+    ThreadPool::set_global_threads(threads);
+    Tensor got;
+    const double ms = time_ms(repeats, [&] { got = minidl::matmul(a, b); });
+    t.parallel_ms.emplace_back(threads, ms);
+    t.identical = t.identical && bit_equal(got, expected);
+  }
+  return t;
+}
+
+/// A training problem heavy enough that the step time is kernel-dominated:
+/// 4 replicas, 64-wide inputs, two 256-wide hidden layers, global batch 512.
+struct StepProblem {
+  minidl::LabeledData data;
+  minidl::ParallelConfig config;
+
+  StepProblem() {
+    const int samples = 2048, dim = 64, classes = 10;
+    data.features = Tensor(samples, dim);
+    data.features.init_glorot(17);
+    data.labels.resize(samples);
+    for (int i = 0; i < samples; ++i) data.labels[static_cast<std::size_t>(i)] = i % classes;
+    config.layer_sizes = {dim, 256, 256, classes};
+    config.seed = 23;
+    config.lr = 0.01f;
+    config.momentum = 0.9f;
+  }
+};
+
+Timing bench_step(int repeats, const std::vector<int>& counts) {
+  Timing t;
+  t.name = "step_4replicas";
+  const StepProblem problem;
+  const int batch = 512, iters = 4;
+
+  auto run = [&](KernelMode mode_value) {
+    ScopedKernelMode mode(mode_value);
+    minidl::DataParallelTrainer trainer(problem.data, problem.config, 4);
+    std::vector<float> losses;
+    for (int i = 0; i < iters; ++i) losses.push_back(trainer.step(batch));
+    return std::make_pair(losses, trainer.checksums().front());
+  };
+
+  std::vector<float> expected_losses;
+  std::uint64_t expected_checksum = 0;
+  {
+    ThreadPool::set_global_threads(1);
+    t.serial_ms = time_ms(repeats, [&] {
+      auto [losses, checksum] = run(KernelMode::kReference);
+      expected_losses = losses;
+      expected_checksum = checksum;
+    });
+  }
+  for (int threads : counts) {
+    ThreadPool::set_global_threads(threads);
+    std::vector<float> losses;
+    std::uint64_t checksum = 0;
+    const double ms = time_ms(repeats, [&] {
+      auto [l, c] = run(KernelMode::kTiled);
+      losses = l;
+      checksum = c;
+    });
+    t.parallel_ms.emplace_back(threads, ms);
+    t.identical = t.identical && losses == expected_losses && checksum == expected_checksum;
+  }
+  return t;
+}
+
+Timing bench_allreduce(std::size_t len, int repeats, const std::vector<int>& counts) {
+  Timing t;
+  t.name = "allreduce_4x" + std::to_string(len);
+  const int ranks = 4;
+  std::vector<std::vector<double>> init(ranks, std::vector<double>(len));
+  for (int r = 0; r < ranks; ++r) {
+    for (std::size_t i = 0; i < len; ++i) {
+      init[static_cast<std::size_t>(r)][i] = 0.001 * static_cast<double>(i % 997) + r;
+    }
+  }
+  auto run = [&] {
+    auto data = init;
+    std::vector<std::vector<double>*> ptrs;
+    for (auto& v : data) ptrs.push_back(&v);
+    comm::allreduce_sum(ptrs);
+    return data.front();
+  };
+
+  std::vector<double> expected;
+  {
+    ThreadPool::set_global_threads(1);
+    t.serial_ms = time_ms(repeats, [&] { expected = run(); });
+  }
+  for (int threads : counts) {
+    ThreadPool::set_global_threads(threads);
+    std::vector<double> got;
+    const double ms = time_ms(repeats, [&] { got = run(); });
+    t.parallel_ms.emplace_back(threads, ms);
+    t.identical = t.identical && got == expected;
+  }
+  return t;
+}
+
+void print_timing(const Timing& t) {
+  std::printf("%-20s serial %9.2f ms |", t.name.c_str(), t.serial_ms);
+  for (const auto& [threads, ms] : t.parallel_ms) {
+    std::printf("  %dT %9.2f ms (%4.2fx)", threads, ms, t.serial_ms / ms);
+  }
+  std::printf("  %s\n", t.identical ? "bit-identical" : "MISMATCH");
+}
+
+std::string json_escaped_results(const std::vector<Timing>& results, int flag_threads) {
+  std::ostringstream os;
+  os << "{\n";
+  os << "  \"threads_flag\": " << flag_threads << ",\n";
+  os << "  \"hardware_concurrency\": " << std::thread::hardware_concurrency() << ",\n";
+  os << "  \"results\": [\n";
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const auto& t = results[i];
+    os << "    {\"name\": \"" << t.name << "\", \"serial_ms\": " << t.serial_ms
+       << ", \"bit_identical\": " << (t.identical ? "true" : "false")
+       << ", \"parallel_ms\": {";
+    for (std::size_t j = 0; j < t.parallel_ms.size(); ++j) {
+      os << "\"" << t.parallel_ms[j].first << "\": " << t.parallel_ms[j].second;
+      if (j + 1 < t.parallel_ms.size()) os << ", ";
+    }
+    os << "}, \"best_speedup\": " << t.serial_ms / t.best_parallel() << "}";
+    os << (i + 1 < results.size() ? ",\n" : "\n");
+  }
+  os << "  ]\n}\n";
+  return os.str();
+}
+
+int run_bench(int argc, char** argv) {
+  Flags flags;
+  flags.define("threads", std::to_string(ThreadPool::default_threads()),
+               "max thread count to benchmark (also honours ELAN_THREADS)");
+  flags.define("repeats", "3", "timing repetitions; best-of is reported");
+  flags.define("out", "BENCH_kernels.json", "output JSON path");
+  try {
+    flags.parse(argc, argv);
+    if (flags.help_requested()) {
+      std::printf("%s", flags.usage("bench_kernels").c_str());
+      return 0;
+    }
+    const int threads = static_cast<int>(flags.get_int("threads"));
+    const int repeats = static_cast<int>(flags.get_int("repeats"));
+    require(threads >= 1, "--threads must be >= 1");
+    require(repeats >= 1, "--repeats must be >= 1");
+    const auto counts = thread_counts(threads);
+
+    std::printf("bench_kernels: serial reference kernels vs tiled+pooled kernels\n");
+    std::printf("(hardware_concurrency=%u, thread counts:", std::thread::hardware_concurrency());
+    for (int c : counts) std::printf(" %d", c);
+    std::printf(")\n\n");
+
+    std::vector<Timing> results;
+    for (int size : {128, 256, 512}) {
+      results.push_back(bench_matmul(size, repeats, counts));
+      print_timing(results.back());
+    }
+    results.push_back(bench_step(repeats, counts));
+    print_timing(results.back());
+    results.push_back(bench_allreduce(1u << 20, repeats, counts));
+    print_timing(results.back());
+
+    const std::string path = flags.get("out");
+    std::ofstream out(path);
+    require(out.good(), "bench_kernels: cannot open " + path);
+    out << json_escaped_results(results, threads);
+    std::printf("\nwrote %s\n", path.c_str());
+
+    bool ok = true;
+    for (const auto& t : results) ok = ok && t.identical;
+    if (!ok) {
+      std::printf("ERROR: parallel kernels are not bit-identical to the reference\n");
+      return 1;
+    }
+    return 0;
+  } catch (const Error& e) {
+    std::fprintf(stderr, "error: %s\n%s", e.what(), flags.usage("bench_kernels").c_str());
+    return 1;
+  }
+}
+
+}  // namespace
+}  // namespace elan::bench
+
+int main(int argc, char** argv) { return elan::bench::run_bench(argc, argv); }

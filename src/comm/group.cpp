@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/error.h"
+#include "common/thread_pool.h"
 
 namespace elan::comm {
 
@@ -77,9 +78,17 @@ void allreduce_sum(std::vector<std::vector<double>*> per_rank) {
     require(v != nullptr && v->size() == n, "allreduce_sum: rank size mismatch");
   }
   std::vector<double> sum(n, 0.0);
-  for (const auto* v : per_rank) {
-    for (std::size_t i = 0; i < n; ++i) sum[i] += (*v)[i];
-  }
+  // Chunk-parallel reduce: element ranges are independent, and within a
+  // chunk every element still accumulates over ranks in ascending rank
+  // order, so the result is bit-identical to the serial reduction at any
+  // thread count.
+  ThreadPool::global().parallel_for(
+      0, static_cast<std::int64_t>(n), 1 << 15, [&](std::int64_t b, std::int64_t e) {
+        for (const auto* v : per_rank) {
+          const double* src = v->data();
+          for (std::int64_t i = b; i < e; ++i) sum[static_cast<std::size_t>(i)] += src[i];
+        }
+      });
   for (auto* v : per_rank) *v = sum;
 }
 

@@ -4,6 +4,7 @@
 #include <memory>
 
 #include "common/error.h"
+#include "common/thread_pool.h"
 #include "topology/bandwidth.h"
 
 namespace elan::comm {
@@ -26,28 +27,44 @@ std::pair<std::size_t, std::size_t> chunk_range(const RunState& s, int chunk) {
   return {begin, end};
 }
 
+/// Runs `fn(rank)` for every rank, fanning out across the thread pool when
+/// the per-rank chunks are big enough to pay for the dispatch. Within one
+/// step every rank touches a distinct (dst, chunk) range, so the per-rank
+/// work is independent and the reduction order per element is unchanged —
+/// results stay bit-identical to the serial loop.
+void for_each_rank(const RunState& s, const std::function<void(int)>& fn) {
+  constexpr std::size_t kParallelChunkLen = 4096;
+  if (s.chunk_len < kParallelChunkLen) {
+    for (int r = 0; r < s.n; ++r) fn(r);
+    return;
+  }
+  ThreadPool::global().parallel_for(0, s.n, 1, [&](std::int64_t b, std::int64_t e) {
+    for (std::int64_t r = b; r < e; ++r) fn(static_cast<int>(r));
+  });
+}
+
 /// One reduce-scatter step: rank r adds its chunk (r - step) into neighbour
 /// (r+1)'s copy.
 void reduce_scatter_step(RunState& s, int step) {
   const int n = s.n;
   // Snapshot the outgoing chunks first (all sends happen "simultaneously").
   std::vector<std::vector<double>> outgoing(static_cast<std::size_t>(n));
-  for (int r = 0; r < n; ++r) {
+  for_each_rank(s, [&](int r) {
     const int chunk = ((r - step) % n + n) % n;
     const auto [b, e] = chunk_range(s, chunk);
     outgoing[static_cast<std::size_t>(r)].assign(s.data[static_cast<std::size_t>(r)]->begin() +
                                                      static_cast<std::ptrdiff_t>(b),
                                                  s.data[static_cast<std::size_t>(r)]->begin() +
                                                      static_cast<std::ptrdiff_t>(e));
-  }
-  for (int r = 0; r < n; ++r) {
+  });
+  for_each_rank(s, [&](int r) {
     const int dst = (r + 1) % n;
     const int chunk = ((r - step) % n + n) % n;
     const auto [b, e] = chunk_range(s, chunk);
     auto& dv = *s.data[static_cast<std::size_t>(dst)];
     const auto& src = outgoing[static_cast<std::size_t>(r)];
     for (std::size_t i = b; i < e; ++i) dv[i] += src[i - b];
-  }
+  });
 }
 
 /// One allgather step: rank r overwrites neighbour (r+1)'s chunk
@@ -55,22 +72,22 @@ void reduce_scatter_step(RunState& s, int step) {
 void allgather_step(RunState& s, int step) {
   const int n = s.n;
   std::vector<std::vector<double>> outgoing(static_cast<std::size_t>(n));
-  for (int r = 0; r < n; ++r) {
+  for_each_rank(s, [&](int r) {
     const int chunk = ((r + 1 - step) % n + n) % n;
     const auto [b, e] = chunk_range(s, chunk);
     outgoing[static_cast<std::size_t>(r)].assign(s.data[static_cast<std::size_t>(r)]->begin() +
                                                      static_cast<std::ptrdiff_t>(b),
                                                  s.data[static_cast<std::size_t>(r)]->begin() +
                                                      static_cast<std::ptrdiff_t>(e));
-  }
-  for (int r = 0; r < n; ++r) {
+  });
+  for_each_rank(s, [&](int r) {
     const int dst = (r + 1) % n;
     const int chunk = ((r + 1 - step) % n + n) % n;
     const auto [b, e] = chunk_range(s, chunk);
     auto& dv = *s.data[static_cast<std::size_t>(dst)];
     const auto& src = outgoing[static_cast<std::size_t>(r)];
     for (std::size_t i = b; i < e; ++i) dv[i] = src[i - b];
-  }
+  });
 }
 
 }  // namespace

@@ -1,0 +1,164 @@
+#include "common/thread_pool.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <exception>
+#include <memory>
+
+namespace elan {
+
+ThreadPool::ThreadPool(int threads) : threads_(threads) {
+  require(threads >= 1, "ThreadPool: need at least one thread");
+  if (threads_ <= 1) return;  // inline pool, no workers
+  workers_.reserve(static_cast<std::size_t>(threads_));
+  for (int i = 0; i < threads_; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::enqueue(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    ensure(!stop_, "ThreadPool: submit after shutdown");
+    queue_.push_back(std::move(task));
+  }
+  cv_.notify_one();
+}
+
+bool ThreadPool::try_run_one() {
+  std::function<void()> task;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (queue_.empty()) return false;
+    task = std::move(queue_.front());
+    queue_.pop_front();
+  }
+  task();
+  return true;
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stop_ set and queue drained
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+  }
+}
+
+void ThreadPool::parallel_for(std::int64_t begin, std::int64_t end, std::int64_t grain,
+                              const std::function<void(std::int64_t, std::int64_t)>& fn) {
+  require(grain >= 1, "parallel_for: non-positive grain");
+  if (begin >= end) return;
+  if (threads_ <= 1 || end - begin <= grain) {
+    // Inline path: same chunk boundaries as the pooled path (the partition
+    // is part of the contract — callers may rely on per-chunk behaviour
+    // being identical at every thread count).
+    for (std::int64_t b = begin; b < end; b += grain) {
+      fn(b, std::min(end, b + grain));
+    }
+    return;
+  }
+
+  struct Sync {
+    std::mutex m;
+    std::condition_variable done;
+    std::int64_t pending = 0;
+    std::exception_ptr error;
+  };
+  auto sync = std::make_shared<Sync>();
+  sync->pending = (end - begin + grain - 1) / grain;
+
+  for (std::int64_t b = begin; b < end; b += grain) {
+    const std::int64_t e = std::min(end, b + grain);
+    // `fn` is captured by reference: the loop below does not return before
+    // every chunk completed, so the reference outlives the tasks.
+    enqueue([sync, &fn, b, e] {
+      try {
+        fn(b, e);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(sync->m);
+        if (!sync->error) sync->error = std::current_exception();
+      }
+      bool last = false;
+      {
+        std::lock_guard<std::mutex> lock(sync->m);
+        last = --sync->pending == 0;
+      }
+      if (last) sync->done.notify_all();
+    });
+  }
+
+  // Help while waiting: run queued tasks instead of sleeping. This is what
+  // makes nested parallelism deadlock-free — a worker that entered a nested
+  // parallel_for drains the queue (including its own sub-chunks) rather than
+  // blocking a pool slot. Sleeping is safe only once the queue is empty: our
+  // remaining chunks are then running on other threads, and any task those
+  // threads enqueue afterwards is drained by their own help loops.
+  for (;;) {
+    {
+      std::lock_guard<std::mutex> lock(sync->m);
+      if (sync->pending == 0) break;
+    }
+    if (try_run_one()) continue;
+    std::unique_lock<std::mutex> lock(sync->m);
+    sync->done.wait(lock, [&] { return sync->pending == 0; });
+  }
+  if (sync->error) std::rethrow_exception(sync->error);
+}
+
+namespace {
+
+std::unique_ptr<ThreadPool>& global_slot() {
+  static std::unique_ptr<ThreadPool> pool;
+  return pool;
+}
+
+std::mutex& global_mutex() {
+  static std::mutex m;
+  return m;
+}
+
+}  // namespace
+
+int ThreadPool::default_threads() {
+  if (const char* env = std::getenv("ELAN_THREADS")) {
+    char* tail = nullptr;
+    const long v = std::strtol(env, &tail, 10);
+    if (tail != nullptr && *tail == '\0' && v >= 1) return static_cast<int>(v);
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<int>(hw);
+}
+
+ThreadPool& ThreadPool::global() {
+  std::lock_guard<std::mutex> lock(global_mutex());
+  auto& slot = global_slot();
+  if (!slot) slot = std::make_unique<ThreadPool>(default_threads());
+  return *slot;
+}
+
+void ThreadPool::set_global_threads(int threads) {
+  require(threads >= 1, "set_global_threads: need at least one thread");
+  std::lock_guard<std::mutex> lock(global_mutex());
+  auto& slot = global_slot();
+  if (slot && slot->size() == threads) return;
+  slot.reset();  // join the old workers before spawning the new pool
+  slot = std::make_unique<ThreadPool>(threads);
+}
+
+}  // namespace elan

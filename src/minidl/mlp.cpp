@@ -47,11 +47,7 @@ void Mlp::backward(const Tensor& grad_logits) {
     const bool last = li + 1 == layers_.size();
     if (!last) grad = relu_backward(grad, layer.pre_activation);
     layer.grad_weights = matmul_transpose_a(layer.input, grad);
-    // Bias gradient: column sums.
-    layer.grad_bias = Tensor(1, grad.cols());
-    for (int i = 0; i < grad.rows(); ++i) {
-      for (int j = 0; j < grad.cols(); ++j) layer.grad_bias.at(0, j) += grad.at(i, j);
-    }
+    layer.grad_bias = column_sums(grad);
     if (li > 0) grad = matmul_transpose_b(grad, layer.weights);
   }
 }

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "comm/group.h"
+#include "common/thread_pool.h"
 
 namespace elan::minidl {
 
@@ -67,17 +68,32 @@ float DataParallelTrainer::step(int total_batch) {
     cursor_ += static_cast<std::uint64_t>(per_replica);
   }
 
-  // Local forward/backward on each replica's shard.
-  float loss_sum = 0.0f;
-  std::vector<std::vector<double>> grads;
-  grads.reserve(static_cast<std::size_t>(n));
-  int idx = 0;
-  for (auto& [id, r] : replicas_) {
-    loss_sum += r.model->loss(shards[static_cast<std::size_t>(idx)].features,
-                              shards[static_cast<std::size_t>(idx)].labels, true);
-    grads.push_back(r.model->flatten_gradients());
-    ++idx;
+  // Local forward/backward, one task per replica (shards were pre-sliced
+  // above under the serial cursor, so §V-C semantics are untouched). Results
+  // land in replica-id order regardless of completion order, and the loss
+  // reduction below runs serially in that order — the step is bit-identical
+  // at any thread count. In reference kernel mode the dispatch stays serial
+  // too (that is the benchmark baseline).
+  std::vector<Mlp*> models;
+  models.reserve(static_cast<std::size_t>(n));
+  for (auto& [id, r] : replicas_) models.push_back(r.model.get());
+  std::vector<float> losses(static_cast<std::size_t>(n), 0.0f);
+  std::vector<std::vector<double>> grads(static_cast<std::size_t>(n));
+  const bool concurrent = kernel_mode() == KernelMode::kTiled;
+  auto replica_pass = [&](std::int64_t b, std::int64_t e) {
+    for (std::int64_t i = b; i < e; ++i) {
+      const auto u = static_cast<std::size_t>(i);
+      losses[u] = models[u]->loss(shards[u].features, shards[u].labels, true);
+      grads[u] = models[u]->flatten_gradients();
+    }
+  };
+  if (concurrent) {
+    ThreadPool::global().parallel_for(0, n, 1, replica_pass);
+  } else {
+    replica_pass(0, n);
   }
+  float loss_sum = 0.0f;
+  for (float l : losses) loss_sum += l;
 
   // Gradient allreduce (sum) then average — every replica applies the same
   // update, so parameters stay bit-identical.
@@ -87,11 +103,17 @@ float DataParallelTrainer::step(int total_batch) {
   for (auto& g : grads) {
     for (auto& v : g) v /= n;
   }
-  idx = 0;
-  for (auto& [id, r] : replicas_) {
-    r.model->load_gradients(grads[static_cast<std::size_t>(idx)]);
-    r.model->sgd_step(config_.lr, config_.momentum);
-    ++idx;
+  auto replica_update = [&](std::int64_t b, std::int64_t e) {
+    for (std::int64_t i = b; i < e; ++i) {
+      const auto u = static_cast<std::size_t>(i);
+      models[u]->load_gradients(grads[u]);
+      models[u]->sgd_step(config_.lr, config_.momentum);
+    }
+  };
+  if (concurrent) {
+    ThreadPool::global().parallel_for(0, n, 1, replica_update);
+  } else {
+    replica_update(0, n);
   }
   ++iteration_;
   return loss_sum / static_cast<float>(n);

@@ -1,7 +1,10 @@
 #include "minidl/tensor.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
+
+#include "common/thread_pool.h"
 
 namespace elan::minidl {
 
@@ -28,55 +31,218 @@ void Tensor::init_glorot(std::uint64_t seed) {
 
 void Tensor::fill(float value) { std::fill(data_.begin(), data_.end(), value); }
 
+namespace {
+
+std::atomic<KernelMode> g_kernel_mode{KernelMode::kTiled};
+
+// k-tile height for the tiled matmuls: 64 rows of b stay resident in L2
+// while a block of output rows streams over them.
+constexpr int kTileK = 64;
+
+// Rows per parallel_for chunk, sized so one chunk is ~4M multiply-adds:
+// small layers run inline (no pool round-trip for the simulator's tiny
+// MLPs), large matrices fan out in multi-row blocks so the k-tile of b is
+// actually reused across the rows of a block.
+std::int64_t row_grain(int flops_per_row) {
+  const std::int64_t grain = (4 << 20) / std::max(1, flops_per_row);
+  return std::max<std::int64_t>(1, grain);
+}
+
+// Elementwise-op grain: chunks of 64k floats.
+constexpr std::int64_t kElemGrain = 1 << 16;
+
+}  // namespace
+
+void set_kernel_mode(KernelMode mode) {
+  g_kernel_mode.store(mode, std::memory_order_relaxed);
+}
+
+KernelMode kernel_mode() { return g_kernel_mode.load(std::memory_order_relaxed); }
+
 Tensor matmul(const Tensor& a, const Tensor& b) {
   require(a.cols() == b.rows(), "matmul: shape mismatch");
   Tensor out(a.rows(), b.cols());
-  for (int i = 0; i < a.rows(); ++i) {
-    for (int k = 0; k < a.cols(); ++k) {
-      const float aik = a.at(i, k);
-      if (aik == 0.0f) continue;
-      for (int j = 0; j < b.cols(); ++j) out.at(i, j) += aik * b.at(k, j);
+  if (kernel_mode() == KernelMode::kReference) {
+    for (int i = 0; i < a.rows(); ++i) {
+      for (int k = 0; k < a.cols(); ++k) {
+        const float aik = a.at(i, k);
+        if (aik == 0.0f) continue;
+        for (int j = 0; j < b.cols(); ++j) out.at(i, j) += aik * b.at(k, j);
+      }
     }
+    return out;
   }
+  const int kdim = a.cols();
+  const int n = b.cols();
+  ThreadPool::global().parallel_for(
+      0, a.rows(), row_grain(kdim * n), [&](std::int64_t i0, std::int64_t i1) {
+        // i-k-j with a k-tile: per output element the accumulation runs over
+        // k strictly ascending (tiles in order, k in order within a tile), so
+        // the float sums match the reference kernel bit for bit. The
+        // aik == 0 skip matches too: relu activations are genuinely sparse,
+        // and skipped terms only ever contribute a signed zero.
+        for (int kk = 0; kk < kdim; kk += kTileK) {
+          const int kend = std::min(kdim, kk + kTileK);
+          for (int i = static_cast<int>(i0); i < i1; ++i) {
+            const float* arow = a.row(i).data();
+            float* orow = out.row(i).data();
+            for (int k = kk; k < kend; ++k) {
+              const float aik = arow[k];
+              if (aik == 0.0f) continue;
+              const float* brow = b.row(k).data();
+              for (int j = 0; j < n; ++j) orow[j] += aik * brow[j];
+            }
+          }
+        }
+      });
   return out;
 }
 
 Tensor matmul_transpose_b(const Tensor& a, const Tensor& b) {
   require(a.cols() == b.cols(), "matmul_transpose_b: shape mismatch");
   Tensor out(a.rows(), b.rows());
-  for (int i = 0; i < a.rows(); ++i) {
-    for (int j = 0; j < b.rows(); ++j) {
-      float acc = 0.0f;
-      for (int k = 0; k < a.cols(); ++k) acc += a.at(i, k) * b.at(j, k);
-      out.at(i, j) = acc;
+  if (kernel_mode() == KernelMode::kReference) {
+    for (int i = 0; i < a.rows(); ++i) {
+      for (int j = 0; j < b.rows(); ++j) {
+        float acc = 0.0f;
+        for (int k = 0; k < a.cols(); ++k) acc += a.at(i, k) * b.at(j, k);
+        out.at(i, j) = acc;
+      }
     }
+    return out;
   }
+  const int kdim = a.cols();
+  const int n = b.rows();
+  ThreadPool::global().parallel_for(
+      0, a.rows(), row_grain(kdim * n), [&](std::int64_t i0, std::int64_t i1) {
+        // Row-dot-row over contiguous spans, four output columns at a time.
+        // Each accumulator still runs over k in reference order (no
+        // reassociation — the unroll is across independent j's, which only
+        // breaks the serial dependency chain of one-accumulator code), so
+        // results stay bit-identical to the reference kernel.
+        for (int i = static_cast<int>(i0); i < i1; ++i) {
+          const float* arow = a.row(i).data();
+          float* orow = out.row(i).data();
+          int j = 0;
+          for (; j + 4 <= n; j += 4) {
+            const float* b0 = b.row(j).data();
+            const float* b1 = b.row(j + 1).data();
+            const float* b2 = b.row(j + 2).data();
+            const float* b3 = b.row(j + 3).data();
+            float acc0 = 0.0f, acc1 = 0.0f, acc2 = 0.0f, acc3 = 0.0f;
+            for (int k = 0; k < kdim; ++k) {
+              const float av = arow[k];
+              acc0 += av * b0[k];
+              acc1 += av * b1[k];
+              acc2 += av * b2[k];
+              acc3 += av * b3[k];
+            }
+            orow[j] = acc0;
+            orow[j + 1] = acc1;
+            orow[j + 2] = acc2;
+            orow[j + 3] = acc3;
+          }
+          for (; j < n; ++j) {
+            const float* brow = b.row(j).data();
+            float acc = 0.0f;
+            for (int k = 0; k < kdim; ++k) acc += arow[k] * brow[k];
+            orow[j] = acc;
+          }
+        }
+      });
   return out;
 }
 
 Tensor matmul_transpose_a(const Tensor& a, const Tensor& b) {
   require(a.rows() == b.rows(), "matmul_transpose_a: shape mismatch");
   Tensor out(a.cols(), b.cols());
-  for (int k = 0; k < a.rows(); ++k) {
-    for (int i = 0; i < a.cols(); ++i) {
-      const float aki = a.at(k, i);
-      if (aki == 0.0f) continue;
-      for (int j = 0; j < b.cols(); ++j) out.at(i, j) += aki * b.at(k, j);
+  if (kernel_mode() == KernelMode::kReference) {
+    for (int k = 0; k < a.rows(); ++k) {
+      for (int i = 0; i < a.cols(); ++i) {
+        const float aki = a.at(k, i);
+        if (aki == 0.0f) continue;
+        for (int j = 0; j < b.cols(); ++j) out.at(i, j) += aki * b.at(k, j);
+      }
     }
+    return out;
   }
+  const int kdim = a.rows();
+  const int n = b.cols();
+  ThreadPool::global().parallel_for(
+      0, a.cols(), row_grain(kdim * n), [&](std::int64_t i0, std::int64_t i1) {
+        // Each task owns output rows [i0, i1); k ascends per element exactly
+        // as in the reference k-i-j loop, only the i loop moved outside.
+        for (int kk = 0; kk < kdim; kk += kTileK) {
+          const int kend = std::min(kdim, kk + kTileK);
+          for (int i = static_cast<int>(i0); i < i1; ++i) {
+            float* orow = out.row(i).data();
+            for (int k = kk; k < kend; ++k) {
+              const float aki = a(k, i);
+              if (aki == 0.0f) continue;
+              const float* brow = b.row(k).data();
+              for (int j = 0; j < n; ++j) orow[j] += aki * brow[j];
+            }
+          }
+        }
+      });
   return out;
 }
 
 void add_row_bias(Tensor& x, const Tensor& bias) {
   require(bias.rows() == 1 && bias.cols() == x.cols(), "add_row_bias: shape mismatch");
-  for (int i = 0; i < x.rows(); ++i) {
-    for (int j = 0; j < x.cols(); ++j) x.at(i, j) += bias.at(0, j);
+  if (kernel_mode() == KernelMode::kReference) {
+    for (int i = 0; i < x.rows(); ++i) {
+      for (int j = 0; j < x.cols(); ++j) x.at(i, j) += bias.at(0, j);
+    }
+    return;
   }
+  const int n = x.cols();
+  const float* brow = bias.row(0).data();
+  ThreadPool::global().parallel_for(0, x.rows(), row_grain(n),
+                                    [&](std::int64_t i0, std::int64_t i1) {
+                                      for (int i = static_cast<int>(i0); i < i1; ++i) {
+                                        float* xrow = x.row(i).data();
+                                        for (int j = 0; j < n; ++j) xrow[j] += brow[j];
+                                      }
+                                    });
+}
+
+Tensor column_sums(const Tensor& x) {
+  Tensor out(1, x.cols());
+  if (kernel_mode() == KernelMode::kReference) {
+    for (int i = 0; i < x.rows(); ++i) {
+      for (int j = 0; j < x.cols(); ++j) out.at(0, j) += x.at(i, j);
+    }
+    return out;
+  }
+  const int rows = x.rows();
+  float* orow = out.row(0).data();
+  // Parallel over column ranges: every task sums its columns over all rows
+  // in ascending row order — the reference accumulation order per column.
+  ThreadPool::global().parallel_for(0, x.cols(), row_grain(rows),
+                                    [&](std::int64_t j0, std::int64_t j1) {
+                                      for (int i = 0; i < rows; ++i) {
+                                        const float* xrow = x.row(i).data();
+                                        for (std::int64_t j = j0; j < j1; ++j) {
+                                          orow[j] += xrow[j];
+                                        }
+                                      }
+                                    });
+  return out;
 }
 
 Tensor relu(const Tensor& x) {
   Tensor out = x;
-  for (auto& v : out.data()) v = std::max(0.0f, v);
+  auto d = out.data();
+  if (kernel_mode() == KernelMode::kReference) {
+    for (auto& v : d) v = std::max(0.0f, v);
+    return out;
+  }
+  ThreadPool::global().parallel_for(
+      0, static_cast<std::int64_t>(d.size()), kElemGrain,
+      [&](std::int64_t b, std::int64_t e) {
+        for (std::int64_t i = b; i < e; ++i) d[i] = std::max(0.0f, d[i]);
+      });
   return out;
 }
 
@@ -85,11 +251,43 @@ Tensor relu_backward(const Tensor& grad_out, const Tensor& pre_activation) {
   Tensor out = grad_out;
   auto g = out.data();
   auto z = pre_activation.data();
-  for (std::size_t i = 0; i < g.size(); ++i) {
-    if (z[i] <= 0.0f) g[i] = 0.0f;
+  if (kernel_mode() == KernelMode::kReference) {
+    for (std::size_t i = 0; i < g.size(); ++i) {
+      if (z[i] <= 0.0f) g[i] = 0.0f;
+    }
+    return out;
   }
+  ThreadPool::global().parallel_for(0, static_cast<std::int64_t>(g.size()), kElemGrain,
+                                    [&](std::int64_t b, std::int64_t e) {
+                                      for (std::int64_t i = b; i < e; ++i) {
+                                        if (z[i] <= 0.0f) g[i] = 0.0f;
+                                      }
+                                    });
   return out;
 }
+
+namespace {
+
+/// Loss and gradient of one logit row; shared by both kernel modes so the
+/// per-row arithmetic (max, sum-exp, log) is literally the same code.
+double softmax_row(const Tensor& logits, int i, int label, int classes, Tensor* grad) {
+  float max_logit = logits.at(i, 0);
+  for (int j = 1; j < classes; ++j) max_logit = std::max(max_logit, logits.at(i, j));
+  double denom = 0.0;
+  for (int j = 0; j < classes; ++j) denom += std::exp(logits.at(i, j) - max_logit);
+  const double row_loss = -(logits.at(i, label) - max_logit - std::log(denom));
+  if (grad != nullptr) {
+    const int n = logits.rows();
+    for (int j = 0; j < classes; ++j) {
+      const double p = std::exp(logits.at(i, j) - max_logit) / denom;
+      grad->at(i, j) =
+          static_cast<float>((p - (j == label ? 1.0 : 0.0)) / static_cast<double>(n));
+    }
+  }
+  return row_loss;
+}
+
+}  // namespace
 
 float softmax_cross_entropy(const Tensor& logits, const std::vector<int>& labels,
                             Tensor* grad) {
@@ -97,26 +295,32 @@ float softmax_cross_entropy(const Tensor& logits, const std::vector<int>& labels
           "softmax_cross_entropy: label count mismatch");
   const int n = logits.rows();
   const int c = logits.cols();
-  if (grad != nullptr) *grad = Tensor(n, c);
-  double loss = 0.0;
   for (int i = 0; i < n; ++i) {
     require(labels[static_cast<std::size_t>(i)] >= 0 &&
                 labels[static_cast<std::size_t>(i)] < c,
             "softmax_cross_entropy: label out of range");
-    float max_logit = logits.at(i, 0);
-    for (int j = 1; j < c; ++j) max_logit = std::max(max_logit, logits.at(i, j));
-    double denom = 0.0;
-    for (int j = 0; j < c; ++j) denom += std::exp(logits.at(i, j) - max_logit);
-    const int y = labels[static_cast<std::size_t>(i)];
-    loss += -(logits.at(i, y) - max_logit - std::log(denom));
-    if (grad != nullptr) {
-      for (int j = 0; j < c; ++j) {
-        const double p = std::exp(logits.at(i, j) - max_logit) / denom;
-        grad->at(i, j) =
-            static_cast<float>((p - (j == y ? 1.0 : 0.0)) / static_cast<double>(n));
-      }
-    }
   }
+  if (grad != nullptr) *grad = Tensor(n, c);
+  if (kernel_mode() == KernelMode::kReference) {
+    double loss = 0.0;
+    for (int i = 0; i < n; ++i) {
+      loss += softmax_row(logits, i, labels[static_cast<std::size_t>(i)], c, grad);
+    }
+    return static_cast<float>(loss / n);
+  }
+  // Rows are independent; per-row losses land in a buffer and are reduced
+  // serially in ascending row order afterwards, so the double accumulation
+  // sequence is exactly the reference one.
+  std::vector<double> row_loss(static_cast<std::size_t>(n));
+  ThreadPool::global().parallel_for(
+      0, n, row_grain(4 * c), [&](std::int64_t i0, std::int64_t i1) {
+        for (int i = static_cast<int>(i0); i < i1; ++i) {
+          row_loss[static_cast<std::size_t>(i)] =
+              softmax_row(logits, i, labels[static_cast<std::size_t>(i)], c, grad);
+        }
+      });
+  double loss = 0.0;
+  for (double l : row_loss) loss += l;
   return static_cast<float>(loss / n);
 }
 

@@ -10,6 +10,15 @@
 // Tensor is a dense row-major float32 matrix; exactly the ops an MLP
 // classifier needs, each with a hand-written backward that the test suite
 // verifies against numerical differentiation.
+//
+// Accessor contract (hot path vs cold path):
+//   * `at(r, c)` is bounds-checked and throws InvalidArgument on a bad
+//     index. Use it in tests, debugging, and cold paths.
+//   * `operator()(r, c)` and `row(r)` are UNCHECKED. They are the kernel
+//     surface: the kernels in tensor.cpp validate shapes once per call
+//     (`require`) and then index raw row spans, so no per-element branch
+//     sits inside the matmul loops. Callers of the unchecked accessors own
+//     the in-range guarantee.
 #pragma once
 
 #include <cstdint>
@@ -30,8 +39,7 @@ class Tensor {
   std::size_t size() const { return data_.size(); }
 
   // Bounds-checked element access. The check is a plain branch — no
-  // diagnostic strings are built unless it actually fails (this sits on the
-  // matmul hot path).
+  // diagnostic strings are built unless it actually fails.
   float& at(int r, int c) {
     if (r < 0 || r >= rows_ || c < 0 || c >= cols_) throw_out_of_range();
     return data_[static_cast<std::size_t>(r) * static_cast<std::size_t>(cols_) +
@@ -41,6 +49,26 @@ class Tensor {
     if (r < 0 || r >= rows_ || c < 0 || c >= cols_) throw_out_of_range();
     return data_[static_cast<std::size_t>(r) * static_cast<std::size_t>(cols_) +
                  static_cast<std::size_t>(c)];
+  }
+
+  // Unchecked access (see the accessor contract above).
+  float& operator()(int r, int c) {
+    return data_[static_cast<std::size_t>(r) * static_cast<std::size_t>(cols_) +
+                 static_cast<std::size_t>(c)];
+  }
+  float operator()(int r, int c) const {
+    return data_[static_cast<std::size_t>(r) * static_cast<std::size_t>(cols_) +
+                 static_cast<std::size_t>(c)];
+  }
+
+  /// Unchecked row span (see the accessor contract above).
+  std::span<float> row(int r) {
+    return {data_.data() + static_cast<std::size_t>(r) * static_cast<std::size_t>(cols_),
+            static_cast<std::size_t>(cols_)};
+  }
+  std::span<const float> row(int r) const {
+    return {data_.data() + static_cast<std::size_t>(r) * static_cast<std::size_t>(cols_),
+            static_cast<std::size_t>(cols_)};
   }
 
   std::span<float> data() { return data_; }
@@ -62,6 +90,41 @@ class Tensor {
   [[noreturn]] static void throw_out_of_range();
 };
 
+// ---------------------------------------------------------------------------
+// Kernel dispatch.
+//
+// Every op below has two implementations:
+//   * kReference — the original naive serial kernels (triple loops over the
+//     checked `at()` accessor). They are the golden semantics: slow, obvious,
+//     and what the numerical-gradient tests were written against. Benches use
+//     them as the serial baseline.
+//   * kTiled — cache-tiled loops over raw row spans, with row-range
+//     parallelism on ThreadPool::global(). The tile schedule and every
+//     per-element accumulation order are fixed independently of the thread
+//     count, so kTiled results are BIT-IDENTICAL to kReference at any pool
+//     size — minidl's byte-for-byte replication invariant survives the
+//     parallel runtime (verified by MiniDlDeterminism tests).
+//
+// The mode is a process-wide switch (default kTiled); one relaxed atomic
+// load per kernel call, nothing on the per-element path.
+// ---------------------------------------------------------------------------
+
+enum class KernelMode { kReference, kTiled };
+
+void set_kernel_mode(KernelMode mode);
+KernelMode kernel_mode();
+
+/// RAII kernel-mode override for tests and benches.
+struct ScopedKernelMode {
+  explicit ScopedKernelMode(KernelMode mode) : previous(kernel_mode()) {
+    set_kernel_mode(mode);
+  }
+  ~ScopedKernelMode() { set_kernel_mode(previous); }
+  ScopedKernelMode(const ScopedKernelMode&) = delete;
+  ScopedKernelMode& operator=(const ScopedKernelMode&) = delete;
+  KernelMode previous;
+};
+
 /// out = a(m,k) * b(k,n)
 Tensor matmul(const Tensor& a, const Tensor& b);
 /// out = a(m,k) * b(n,k)^T
@@ -71,6 +134,9 @@ Tensor matmul_transpose_a(const Tensor& a, const Tensor& b);
 
 /// Adds a row vector `bias` (1 x n) to every row of `x` (m x n), in place.
 void add_row_bias(Tensor& x, const Tensor& bias);
+
+/// Column sums of x (m x n) as a 1 x n row vector (the bias gradient).
+Tensor column_sums(const Tensor& x);
 
 /// ReLU forward (returns mask-applied copy) and backward (grad * mask).
 Tensor relu(const Tensor& x);

@@ -15,6 +15,7 @@
 #include "common/serialize.h"
 #include "common/stats.h"
 #include "common/table.h"
+#include "common/thread_pool.h"
 #include "common/units.h"
 #include "data/dataset.h"
 #include "data/sampler.h"

@@ -6,8 +6,10 @@
 // of the paper's §V-A generality claim this repository can check.
 #include <gtest/gtest.h>
 
+#include "common/thread_pool.h"
 #include "elan/job.h"
 #include "minidl/elan_engine.h"
+#include "minidl/parallel.h"
 #include "storage/filesystem.h"
 
 namespace elan {
@@ -114,6 +116,70 @@ TEST(MiniDlJob, HybridScalingRampsLrIntoRealUpdates) {
   EXPECT_DOUBLE_EQ(job->adjustments().front().lr_factor, 2.0);
   EXPECT_DOUBLE_EQ(job->current_lr(), 0.2);  // ramp complete: lr_T = k * lr_0
   EXPECT_TRUE(job->consistent());
+}
+
+// ---------------------------------------------------------------------------
+// Determinism of the parallel runtime: the tiled/pooled kernels and the
+// concurrent replica dispatch must produce bit-identical losses and state
+// blobs to the serial reference path at every thread count, or minidl's
+// byte-for-byte replication invariant silently dies.
+// ---------------------------------------------------------------------------
+
+struct DeterminismRun {
+  std::vector<float> losses;
+  std::vector<Blob> states;  // one blob per replica after the last step
+};
+
+DeterminismRun run_trainer(const minidl::LabeledData& data, minidl::KernelMode mode,
+                           int threads, int replicas, int iterations, int batch) {
+  minidl::ScopedKernelMode kernel_mode(mode);
+  ThreadPool::set_global_threads(threads);
+  minidl::ParallelConfig config;
+  config.layer_sizes = {2, 48, 48, 3};
+  config.seed = 99;
+  config.lr = 0.1f;
+  config.momentum = 0.9f;
+  minidl::DataParallelTrainer trainer(data, config, replicas);
+  DeterminismRun run;
+  for (int i = 0; i < iterations; ++i) run.losses.push_back(trainer.step(batch));
+  EXPECT_TRUE(trainer.consistent());
+  for (int r = 0; r < replicas; ++r) run.states.push_back(trainer.replica(r).save_state());
+  ThreadPool::set_global_threads(1);
+  return run;
+}
+
+TEST(MiniDlDeterminism, ParallelStepMatchesSerialBitForBit) {
+  const auto data = minidl::make_spirals(100, 3, 21);
+  const auto serial =
+      run_trainer(data, minidl::KernelMode::kReference, 1, 4, 25, 160);
+  for (int threads : {1, 2, 4}) {
+    const auto parallel =
+        run_trainer(data, minidl::KernelMode::kTiled, threads, 4, 25, 160);
+    // Float losses compared exactly: the loss sequence is part of the
+    // determinism contract, not an approximation of it.
+    ASSERT_EQ(parallel.losses, serial.losses) << threads << " threads";
+    ASSERT_EQ(parallel.states.size(), serial.states.size());
+    for (std::size_t r = 0; r < serial.states.size(); ++r) {
+      ASSERT_TRUE(parallel.states[r] == serial.states[r])
+          << "replica " << r << " state blob diverged at " << threads << " threads";
+    }
+  }
+}
+
+TEST(MiniDlDeterminism, ScaleOutUnderParallelKernelsKeepsReplicasIdentical) {
+  const auto data = minidl::make_spirals(100, 3, 22);
+  minidl::ScopedKernelMode kernel_mode(minidl::KernelMode::kTiled);
+  ThreadPool::set_global_threads(4);
+  minidl::ParallelConfig config;
+  config.layer_sizes = {2, 48, 48, 3};
+  config.seed = 5;
+  minidl::DataParallelTrainer trainer(data, config, 2);
+  for (int i = 0; i < 10; ++i) trainer.step(120);
+  trainer.scale_out(2);
+  EXPECT_TRUE(trainer.consistent());  // replication copied live bytes exactly
+  for (int i = 0; i < 10; ++i) trainer.step(120);
+  EXPECT_TRUE(trainer.consistent());
+  ThreadPool::set_global_threads(1);
 }
 
 TEST(MiniDlJob, SnrCheckpointCarriesRealWeights) {

@@ -4,6 +4,7 @@
 
 #include "comm/ring_allreduce.h"
 #include "common/rng.h"
+#include "common/thread_pool.h"
 
 namespace elan::comm {
 namespace {
@@ -126,6 +127,67 @@ TEST(RingAllreduce, TransferCountIs2NTimesNMinus1) {
   ar.run(ptrs, [] {});
   f.sim.run();
   EXPECT_EQ(ar.transfers(), 4u * 6u);  // N ranks x 2(N-1) steps
+}
+
+// ---------------------------------------------------------------------------
+// Chunk-parallel determinism: the pooled reduce paths must produce exactly
+// the same doubles as the serial path at every thread count (the per-element
+// accumulation order is fixed by construction).
+// ---------------------------------------------------------------------------
+
+std::vector<std::vector<double>> ring_reduce_at(int threads, int n, std::size_t len,
+                                                std::uint64_t seed) {
+  ThreadPool::set_global_threads(threads);
+  RingFixture f;
+  Rng rng(seed);
+  std::vector<std::vector<double>> data(static_cast<std::size_t>(n));
+  for (auto& v : data) {
+    v.resize(len);
+    for (auto& x : v) x = rng.uniform(-1.0, 1.0);
+  }
+  const auto g = f.group(n);
+  RingAllreduce ar(f.sim, g);
+  std::vector<std::vector<double>*> ptrs;
+  for (auto& v : data) ptrs.push_back(&v);
+  ar.run(ptrs, [] {});
+  f.sim.run();
+  ThreadPool::set_global_threads(1);
+  return data;
+}
+
+TEST(RingAllreduce, ChunkParallelReduceIsBitIdenticalAcrossThreadCounts) {
+  // len 40000 over 4 ranks -> 10000-element chunks, past the parallel
+  // threshold, so the pooled path genuinely engages at threads > 1.
+  const auto serial = ring_reduce_at(1, 4, 40000, 77);
+  for (int threads : {2, 4}) {
+    const auto parallel = ring_reduce_at(threads, 4, 40000, 77);
+    ASSERT_EQ(parallel.size(), serial.size());
+    for (std::size_t r = 0; r < serial.size(); ++r) {
+      ASSERT_EQ(parallel[r], serial[r]) << "rank " << r << " at " << threads << " threads";
+    }
+  }
+}
+
+TEST(RingAllreduce, FunctionalAllreduceSumIsBitIdenticalAcrossThreadCounts) {
+  const std::size_t len = 100000;
+  Rng rng(31);
+  std::vector<std::vector<double>> init(4, std::vector<double>(len));
+  for (auto& v : init) {
+    for (auto& x : v) x = rng.uniform(-1.0, 1.0);
+  }
+  auto reduce_at = [&](int threads) {
+    ThreadPool::set_global_threads(threads);
+    auto data = init;
+    std::vector<std::vector<double>*> ptrs;
+    for (auto& v : data) ptrs.push_back(&v);
+    allreduce_sum(ptrs);
+    ThreadPool::set_global_threads(1);
+    return data.front();
+  };
+  const auto serial = reduce_at(1);
+  for (int threads : {2, 4}) {
+    ASSERT_EQ(reduce_at(threads), serial) << threads << " threads";
+  }
 }
 
 TEST(RingAllreduce, RejectsMismatchedInput) {
