@@ -41,7 +41,7 @@ double LitzModel::throughput(const train::ModelSpec& model, int workers,
 double LitzModel::relative_throughput(const train::ModelSpec& model, int workers,
                                       int total_batch) const {
   const double elan = throughput_->throughput(model, workers, total_batch);
-  ensure(elan > 0, "litz: zero Elan throughput");
+  ELAN_CHECK(elan > 0, "litz: zero Elan throughput");
   return throughput(model, workers, total_batch) / elan;
 }
 

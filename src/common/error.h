@@ -35,9 +35,51 @@ inline void require(bool cond, const std::string& what) {
   if (!cond) throw InvalidArgument(what);
 }
 
-/// Throws InternalError if `cond` is false.
-inline void ensure(bool cond, const std::string& what) {
-  if (!cond) throw InternalError(what);
+namespace detail {
+
+[[noreturn]] inline void check_failed(const char* expr, const char* file, int line,
+                                      const std::string& note = {}) {
+  std::string what = "check failed: ";
+  what += expr;
+  what += " (";
+  what += file;
+  what += ':';
+  what += std::to_string(line);
+  what += ')';
+  if (!note.empty()) {
+    what += ": ";
+    what += note;
+  }
+  throw InternalError(what);
 }
 
+}  // namespace detail
+
 }  // namespace elan
+
+/// Internal-invariant check. Throws InternalError carrying the failed
+/// expression text and its file:line, plus an optional note:
+///
+///   ELAN_CHECK(it != map.end());
+///   ELAN_CHECK(n >= 0, "negative shard count");
+///
+/// Use `require()` for caller mistakes (InvalidArgument); ELAN_CHECK is for
+/// conditions that can only fail through a bug in this library.
+#define ELAN_CHECK(cond, ...)                                              \
+  do {                                                                     \
+    if (!(cond)) [[unlikely]]                                              \
+      ::elan::detail::check_failed(#cond, __FILE__,                        \
+                                   __LINE__ __VA_OPT__(, ) __VA_ARGS__);   \
+  } while (0)
+
+/// Debug-only variant: compiled out (condition not evaluated) under NDEBUG,
+/// but still parsed, so it cannot bit-rot.
+#ifdef NDEBUG
+#define ELAN_DCHECK(cond, ...)          \
+  do {                                  \
+    if (false && (cond)) {              \
+    }                                   \
+  } while (0)
+#else
+#define ELAN_DCHECK(cond, ...) ELAN_CHECK(cond __VA_OPT__(, ) __VA_ARGS__)
+#endif

@@ -46,7 +46,7 @@ class BinaryReader {
   template <typename T>
     requires std::is_trivially_copyable_v<T>
   T read() {
-    ensure(pos_ + sizeof(T) <= data_.size(), "BinaryReader: out of data");
+    ELAN_CHECK(pos_ + sizeof(T) <= data_.size(), "BinaryReader: out of data");
     T value;
     std::memcpy(&value, data_.data() + pos_, sizeof(T));
     pos_ += sizeof(T);
@@ -55,7 +55,7 @@ class BinaryReader {
 
   std::string read_string() {
     const auto n = read<std::uint64_t>();
-    ensure(pos_ + n <= data_.size(), "BinaryReader: string out of data");
+    ELAN_CHECK(pos_ + n <= data_.size(), "BinaryReader: string out of data");
     std::string s(reinterpret_cast<const char*>(data_.data() + pos_), n);
     pos_ += n;
     return s;
@@ -63,7 +63,7 @@ class BinaryReader {
 
   std::vector<std::uint8_t> read_bytes() {
     const auto n = read<std::uint64_t>();
-    ensure(pos_ + n <= data_.size(), "BinaryReader: bytes out of data");
+    ELAN_CHECK(pos_ + n <= data_.size(), "BinaryReader: bytes out of data");
     std::vector<std::uint8_t> v(data_.begin() + static_cast<std::ptrdiff_t>(pos_),
                                 data_.begin() + static_cast<std::ptrdiff_t>(pos_ + n));
     pos_ += n;

@@ -18,7 +18,7 @@ ThreadPool::ThreadPool(int threads) : threads_(threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     stop_ = true;
   }
   cv_.notify_all();
@@ -27,8 +27,8 @@ ThreadPool::~ThreadPool() {
 
 void ThreadPool::enqueue(std::function<void()> task) {
   {
-    std::lock_guard<std::mutex> lock(mutex_);
-    ensure(!stop_, "ThreadPool: submit after shutdown");
+    MutexLock lock(mutex_);
+    ELAN_CHECK(!stop_, "ThreadPool: submit after shutdown");
     queue_.push_back(std::move(task));
   }
   cv_.notify_one();
@@ -37,7 +37,7 @@ void ThreadPool::enqueue(std::function<void()> task) {
 bool ThreadPool::try_run_one() {
   std::function<void()> task;
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     if (queue_.empty()) return false;
     task = std::move(queue_.front());
     queue_.pop_front();
@@ -50,8 +50,8 @@ void ThreadPool::worker_loop() {
   for (;;) {
     std::function<void()> task;
     {
-      std::unique_lock<std::mutex> lock(mutex_);
-      cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      MutexLock lock(mutex_);
+      while (!stop_ && queue_.empty()) cv_.wait(mutex_);
       if (queue_.empty()) return;  // stop_ set and queue drained
       task = std::move(queue_.front());
       queue_.pop_front();
@@ -75,13 +75,16 @@ void ThreadPool::parallel_for(std::int64_t begin, std::int64_t end, std::int64_t
   }
 
   struct Sync {
-    std::mutex m;
-    std::condition_variable done;
-    std::int64_t pending = 0;
-    std::exception_ptr error;
+    Mutex m{"parallel_for_sync"};
+    CondVar done;
+    std::int64_t pending ELAN_GUARDED_BY(m) = 0;
+    std::exception_ptr error ELAN_GUARDED_BY(m);
   };
   auto sync = std::make_shared<Sync>();
-  sync->pending = (end - begin + grain - 1) / grain;
+  {
+    MutexLock lock(sync->m);
+    sync->pending = (end - begin + grain - 1) / grain;
+  }
 
   for (std::int64_t b = begin; b < end; b += grain) {
     const std::int64_t e = std::min(end, b + grain);
@@ -91,12 +94,12 @@ void ThreadPool::parallel_for(std::int64_t begin, std::int64_t end, std::int64_t
       try {
         fn(b, e);
       } catch (...) {
-        std::lock_guard<std::mutex> lock(sync->m);
+        MutexLock lock(sync->m);
         if (!sync->error) sync->error = std::current_exception();
       }
       bool last = false;
       {
-        std::lock_guard<std::mutex> lock(sync->m);
+        MutexLock lock(sync->m);
         last = --sync->pending == 0;
       }
       if (last) sync->done.notify_all();
@@ -111,14 +114,20 @@ void ThreadPool::parallel_for(std::int64_t begin, std::int64_t end, std::int64_t
   // threads enqueue afterwards is drained by their own help loops.
   for (;;) {
     {
-      std::lock_guard<std::mutex> lock(sync->m);
+      MutexLock lock(sync->m);
       if (sync->pending == 0) break;
     }
     if (try_run_one()) continue;
-    std::unique_lock<std::mutex> lock(sync->m);
-    sync->done.wait(lock, [&] { return sync->pending == 0; });
+    MutexLock lock(sync->m);
+    while (sync->pending != 0) sync->done.wait(sync->m);
+    break;
   }
-  if (sync->error) std::rethrow_exception(sync->error);
+  std::exception_ptr error;
+  {
+    MutexLock lock(sync->m);
+    error = sync->error;
+  }
+  if (error) std::rethrow_exception(error);
 }
 
 namespace {
@@ -128,8 +137,8 @@ std::unique_ptr<ThreadPool>& global_slot() {
   return pool;
 }
 
-std::mutex& global_mutex() {
-  static std::mutex m;
+Mutex& global_mutex() {
+  static Mutex m("thread_pool_global");
   return m;
 }
 
@@ -146,7 +155,7 @@ int ThreadPool::default_threads() {
 }
 
 ThreadPool& ThreadPool::global() {
-  std::lock_guard<std::mutex> lock(global_mutex());
+  MutexLock lock(global_mutex());
   auto& slot = global_slot();
   if (!slot) slot = std::make_unique<ThreadPool>(default_threads());
   return *slot;
@@ -154,7 +163,7 @@ ThreadPool& ThreadPool::global() {
 
 void ThreadPool::set_global_threads(int threads) {
   require(threads >= 1, "set_global_threads: need at least one thread");
-  std::lock_guard<std::mutex> lock(global_mutex());
+  MutexLock lock(global_mutex());
   auto& slot = global_slot();
   if (slot && slot->size() == threads) return;
   slot.reset();  // join the old workers before spawning the new pool

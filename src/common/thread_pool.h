@@ -20,19 +20,18 @@
 // after parsing a --threads flag (common/flags).
 #pragma once
 
-#include <condition_variable>
 #include <cstddef>
 #include <cstdint>
 #include <deque>
 #include <functional>
 #include <future>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <type_traits>
 #include <vector>
 
 #include "common/error.h"
+#include "common/sync.h"
 
 namespace elan {
 
@@ -91,12 +90,12 @@ class ThreadPool {
   /// "help while waiting" primitive behind nested parallel_for).
   bool try_run_one();
 
-  int threads_ = 1;
-  std::vector<std::thread> workers_;
-  std::deque<std::function<void()>> queue_;
-  std::mutex mutex_;
-  std::condition_variable cv_;
-  bool stop_ = false;
+  int threads_ = 1;           // set once in the constructor
+  std::vector<std::thread> workers_;  // written in ctor, joined in dtor only
+  Mutex mutex_{"thread_pool"};
+  CondVar cv_;
+  std::deque<std::function<void()>> queue_ ELAN_GUARDED_BY(mutex_);
+  bool stop_ ELAN_GUARDED_BY(mutex_) = false;
 };
 
 }  // namespace elan

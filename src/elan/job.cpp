@@ -99,7 +99,7 @@ void ElasticJob::allocate_worker_memory(int worker, topo::GpuId gpu) {
 void ElasticJob::free_worker_memory(int worker) {
   if (memory_pool_ == nullptr) return;
   auto it = allocations_.find(worker);
-  ensure(it != allocations_.end(), "memory accounting lost worker");
+  ELAN_CHECK(it != allocations_.end(), "memory accounting lost worker");
   auto& device = memory_pool_->device(it->second.gpu);
   device.free(it->second.state);
   device.free(it->second.workspace);
@@ -264,7 +264,7 @@ void ElasticJob::process_pending_failures() {
   for (int victim : pending_failures_) {
     auto it = workers_.find(victim);
     if (it == workers_.end()) continue;  // already left via an adjustment
-    ensure(workers_.size() > 1, "fail_worker: last worker died");
+    ELAN_CHECK(workers_.size() > 1, "fail_worker: last worker died");
     workers_.erase(it);
     slowdown_.erase(victim);
     free_worker_memory(victim);
@@ -527,9 +527,9 @@ void ElasticJob::execute_elan_adjustment(AdjustmentRecord record, const Adjustme
     // Move the actual bytes along the planned source->destination pairs.
     for (const auto& t : rep_plan.transfers) {
       auto src = workers_.find(t.source_worker);
-      ensure(src != workers_.end(), "replication source vanished");
+      ELAN_CHECK(src != workers_.end(), "replication source vanished");
       auto dst = joining_.find(t.dest_worker);
-      ensure(dst != joining_.end(), "replication destination not launched");
+      ELAN_CHECK(dst != joining_.end(), "replication destination not launched");
       dst->second->hooks().load_all(src->second->hooks().save_all());
     }
   }
@@ -624,8 +624,8 @@ void ElasticJob::finish_adjustment(AdjustmentRecord record, const AdjustmentPlan
   // Admit joining workers.
   for (const auto& [id, gpu] : plan.join) {
     auto it = joining_.find(id);
-    ensure(it != joining_.end(), "joining worker missing");
-    ensure(it->second->state() == WorkerState::kReady, "joining worker not ready");
+    ELAN_CHECK(it != joining_.end(), "joining worker missing");
+    ELAN_CHECK(it->second->state() == WorkerState::kReady, "joining worker not ready");
     it->second->set_training();
     workers_.emplace(id, std::move(it->second));
     joining_.erase(it);

@@ -21,6 +21,7 @@ ApplicationMaster::ApplicationMaster(transport::MessageBus& bus, transport::KvSt
                                      std::string job_id,
                                      std::vector<WorkerLaunchSpec> initial_workers)
     : ApplicationMaster(bus, kv, std::move(job_id)) {
+  MutexLock lock(mu_);
   for (const auto& w : initial_workers) {
     require(w.worker >= 0, "AM: bad initial worker id");
     workers_.emplace(w.worker, w.gpu);
@@ -56,31 +57,41 @@ void ApplicationMaster::on_adjust_request(const AdjustRequestMsg& msg,
                                           const std::string& reply_to) {
   AdjustReplyMsg reply;
   reply.request_id = msg.request_id;
-  try {
-    std::vector<WorkerLaunchSpec> specs;
-    switch (msg.type) {
-      case AdjustmentType::kScaleOut:
-        specs = scale_out(msg.gpus);
-        break;
-      case AdjustmentType::kScaleIn:
-        scale_in(msg.victims);
-        break;
-      case AdjustmentType::kMigrate:
-        specs = migrate(msg.victims, msg.gpus);
-        break;
+  {
+    MutexLock lock(mu_);
+    try {
+      std::vector<WorkerLaunchSpec> specs;
+      switch (msg.type) {
+        case AdjustmentType::kScaleOut:
+          specs = scale_out_locked(msg.gpus);
+          break;
+        case AdjustmentType::kScaleIn:
+          scale_in_locked(msg.victims);
+          break;
+        case AdjustmentType::kMigrate:
+          specs = migrate_locked(msg.victims, msg.gpus);
+          break;
+      }
+      reply.ok = true;
+      for (const auto& s : specs) reply.launch.emplace_back(s.worker, s.gpu);
+    } catch (const Error& e) {
+      reply.ok = false;
+      reply.error = e.what();
     }
-    reply.ok = true;
-    for (const auto& s : specs) reply.launch.emplace_back(s.worker, s.gpu);
-  } catch (const Error& e) {
-    reply.ok = false;
-    reply.error = e.what();
   }
+  // Reply with no AM lock held (endpoint -> bus -> simulator locks follow).
   endpoint_->send(reply_to, "adjust_reply", reply.serialize());
 }
 
 std::vector<WorkerLaunchSpec> ApplicationMaster::scale_out(
     const std::vector<topo::GpuId>& gpus) {
-  require(idle(), "AM: adjustment already pending");
+  MutexLock lock(mu_);
+  return scale_out_locked(gpus);
+}
+
+std::vector<WorkerLaunchSpec> ApplicationMaster::scale_out_locked(
+    const std::vector<topo::GpuId>& gpus) {
+  require(phase_ == AmPhase::kSteady, "AM: adjustment already pending");
   require(!gpus.empty(), "scale_out: no GPUs");
   plan_ = AdjustmentPlan{};
   plan_.version = next_version_++;
@@ -98,7 +109,12 @@ std::vector<WorkerLaunchSpec> ApplicationMaster::scale_out(
 }
 
 void ApplicationMaster::scale_in(const std::vector<int>& victims) {
-  require(idle(), "AM: adjustment already pending");
+  MutexLock lock(mu_);
+  scale_in_locked(victims);
+}
+
+void ApplicationMaster::scale_in_locked(const std::vector<int>& victims) {
+  require(phase_ == AmPhase::kSteady, "AM: adjustment already pending");
   require(!victims.empty(), "scale_in: no victims");
   require(victims.size() < workers_.size(), "scale_in: cannot remove all workers");
   for (int v : victims) {
@@ -115,7 +131,13 @@ void ApplicationMaster::scale_in(const std::vector<int>& victims) {
 
 std::vector<WorkerLaunchSpec> ApplicationMaster::migrate(
     const std::vector<int>& victims, const std::vector<topo::GpuId>& target_gpus) {
-  require(idle(), "AM: adjustment already pending");
+  MutexLock lock(mu_);
+  return migrate_locked(victims, target_gpus);
+}
+
+std::vector<WorkerLaunchSpec> ApplicationMaster::migrate_locked(
+    const std::vector<int>& victims, const std::vector<topo::GpuId>& target_gpus) {
+  require(phase_ == AmPhase::kSteady, "AM: adjustment already pending");
   require(!victims.empty() && victims.size() == target_gpus.size(),
           "migrate: victims/targets mismatch");
   for (int v : victims) {
@@ -138,6 +160,7 @@ std::vector<WorkerLaunchSpec> ApplicationMaster::migrate(
 }
 
 void ApplicationMaster::on_report(const ReportMsg& msg) {
+  MutexLock lock(mu_);
   ++reports_received_;
   if (phase_ != AmPhase::kWaitingReady) {
     // Duplicate or stale report (e.g. resent after an AM restart): ignore.
@@ -153,24 +176,28 @@ void ApplicationMaster::on_report(const ReportMsg& msg) {
 }
 
 void ApplicationMaster::on_coordinate(const CoordinateMsg& msg, const std::string& reply_to) {
-  ++coordinations_;
   DecisionMsg decision;
   decision.iteration = msg.iteration;
-  // Instruct the adjustment only when every joining worker is ready; workers
-  // that coordinate earlier simply proceed with training (asynchronous
-  // coordination, §V-B).
-  if (phase_ == AmPhase::kReady || phase_ == AmPhase::kAdjusting) {
-    decision.adjust = true;
-    decision.plan = plan_;
-    if (phase_ == AmPhase::kReady) {
-      phase_ = AmPhase::kAdjusting;
-      persist();
+  {
+    MutexLock lock(mu_);
+    ++coordinations_;
+    // Instruct the adjustment only when every joining worker is ready;
+    // workers that coordinate earlier simply proceed with training
+    // (asynchronous coordination, §V-B).
+    if (phase_ == AmPhase::kReady || phase_ == AmPhase::kAdjusting) {
+      decision.adjust = true;
+      decision.plan = plan_;
+      if (phase_ == AmPhase::kReady) {
+        phase_ = AmPhase::kAdjusting;
+        persist();
+      }
     }
   }
   endpoint_->send(reply_to, "decision", decision.serialize());
 }
 
 void ApplicationMaster::on_adjustment_complete() {
+  MutexLock lock(mu_);
   require(phase_ == AmPhase::kAdjusting, "AM: no adjustment in flight");
   for (const auto& [id, gpu] : plan_.join) workers_.emplace(id, gpu);
   for (int v : plan_.leave) workers_.erase(v);
@@ -181,6 +208,7 @@ void ApplicationMaster::on_adjustment_complete() {
 }
 
 void ApplicationMaster::remove_failed(int worker) {
+  MutexLock lock(mu_);
   workers_.erase(worker);
   persist();
 }
@@ -203,6 +231,7 @@ void ApplicationMaster::persist() {
 }
 
 void ApplicationMaster::restore_from_bytes(std::span<const std::uint8_t> data) {
+  MutexLock lock(mu_);
   BinaryReader r(data);
   phase_ = static_cast<AmPhase>(r.read<std::uint8_t>());
   next_worker_id_ = r.read<int>();

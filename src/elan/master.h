@@ -10,6 +10,13 @@
 // Fault tolerance (§V-D): the AM is a state machine persisted to the KV store
 // after every transition; `recover` rebuilds an equivalent AM after a crash.
 // Message loss is handled by the ReliableEndpoint layer underneath.
+//
+// Thread safety: the report/poll state machine is guarded by one mutex, so
+// the scheduler's service calls, worker reports and coordination polls may
+// arrive on any thread (the prerequisite for running §V-B coordination off
+// the training thread). Replies are sent with no AM lock held. Lock order:
+// application_master -> {reliable_endpoint, kv_store} -> ... -> simulator.
+// Accessors return snapshots by value — the state machine keeps moving.
 #pragma once
 
 #include <cstdint>
@@ -20,6 +27,7 @@
 #include <string>
 #include <vector>
 
+#include "common/sync.h"
 #include "elan/messages.h"
 #include "transport/bus.h"
 #include "transport/kv_store.h"
@@ -47,12 +55,25 @@ class ApplicationMaster {
 
   const std::string& name() const { return name_; }
   const std::string& job_id() const { return job_id_; }
-  AmPhase phase() const { return phase_; }
-  std::uint64_t plan_version() const { return plan_.version; }
-  const AdjustmentPlan& plan() const { return plan_; }
+  AmPhase phase() const {
+    MutexLock lock(mu_);
+    return phase_;
+  }
+  std::uint64_t plan_version() const {
+    MutexLock lock(mu_);
+    return plan_.version;
+  }
+  /// Snapshot of the pending plan.
+  AdjustmentPlan plan() const {
+    MutexLock lock(mu_);
+    return plan_;
+  }
 
-  /// Current worker membership as known to the AM (worker -> GPU).
-  const std::map<int, topo::GpuId>& workers() const { return workers_; }
+  /// Snapshot of the worker membership as known to the AM (worker -> GPU).
+  std::map<int, topo::GpuId> workers() const {
+    MutexLock lock(mu_);
+    return workers_;
+  }
 
   // --- Service API offered to the scheduler (Table III) -------------------
 
@@ -70,7 +91,10 @@ class ApplicationMaster {
                                         const std::vector<topo::GpuId>& target_gpus);
 
   /// True when a request can be accepted.
-  bool idle() const { return phase_ == AmPhase::kSteady; }
+  bool idle() const {
+    MutexLock lock(mu_);
+    return phase_ == AmPhase::kSteady;
+  }
 
   // --- Completion signal from the job runtime ------------------------------
 
@@ -93,8 +117,14 @@ class ApplicationMaster {
   /// Detaches from the bus (crash simulation).
   void crash();
 
-  std::uint64_t reports_received() const { return reports_received_; }
-  std::uint64_t coordinations() const { return coordinations_; }
+  std::uint64_t reports_received() const {
+    MutexLock lock(mu_);
+    return reports_received_;
+  }
+  std::uint64_t coordinations() const {
+    MutexLock lock(mu_);
+    return coordinations_;
+  }
 
  private:
   ApplicationMaster(transport::MessageBus& bus, transport::KvStore& kv, std::string job_id);
@@ -105,21 +135,31 @@ class ApplicationMaster {
   std::string name_;
   std::unique_ptr<transport::ReliableEndpoint> endpoint_;
 
-  AmPhase phase_ = AmPhase::kSteady;
-  std::map<int, topo::GpuId> workers_;
-  AdjustmentPlan plan_;
-  std::set<int> pending_reports_;  // joining workers that have not reported yet
-  int next_worker_id_ = 0;
-  std::uint64_t next_version_ = 1;
-  std::uint64_t reports_received_ = 0;
-  std::uint64_t coordinations_ = 0;
+  mutable Mutex mu_{"application_master"};
+  AmPhase phase_ ELAN_GUARDED_BY(mu_) = AmPhase::kSteady;
+  std::map<int, topo::GpuId> workers_ ELAN_GUARDED_BY(mu_);
+  AdjustmentPlan plan_ ELAN_GUARDED_BY(mu_);
+  // Joining workers that have not reported yet.
+  std::set<int> pending_reports_ ELAN_GUARDED_BY(mu_);
+  int next_worker_id_ ELAN_GUARDED_BY(mu_) = 0;
+  std::uint64_t next_version_ ELAN_GUARDED_BY(mu_) = 1;
+  std::uint64_t reports_received_ ELAN_GUARDED_BY(mu_) = 0;
+  std::uint64_t coordinations_ ELAN_GUARDED_BY(mu_) = 0;
 
   void attach_endpoint();
   void handle(const transport::Message& msg);
   void on_report(const ReportMsg& msg);
   void on_coordinate(const CoordinateMsg& msg, const std::string& reply_to);
   void on_adjust_request(const AdjustRequestMsg& msg, const std::string& reply_to);
-  void persist();
+  // Unlocked cores of the service API; the public wrappers and the message
+  // path (which already holds the lock) both funnel here.
+  std::vector<WorkerLaunchSpec> scale_out_locked(const std::vector<topo::GpuId>& gpus)
+      ELAN_REQUIRES(mu_);
+  void scale_in_locked(const std::vector<int>& victims) ELAN_REQUIRES(mu_);
+  std::vector<WorkerLaunchSpec> migrate_locked(const std::vector<int>& victims,
+                                               const std::vector<topo::GpuId>& target_gpus)
+      ELAN_REQUIRES(mu_);
+  void persist() ELAN_REQUIRES(mu_);
   void restore_from_bytes(std::span<const std::uint8_t> data);
   std::string kv_key() const { return "elan/am/" + job_id_; }
 };

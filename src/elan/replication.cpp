@@ -88,7 +88,7 @@ ReplicationPlan ReplicationPlanner::plan(const ReplicationRequest& request) cons
         break;
       }
     }
-    ensure(best_source >= 0, "replication: no source selected");
+    ELAN_CHECK(best_source >= 0, "replication: no source selected");
     ++source_load[best_source];
 
     ReplicationTransfer t;

@@ -34,7 +34,7 @@ WorkerProcess::WorkerProcess(sim::Simulator& simulator, transport::MessageBus& b
       params_(params),
       rng_(rng),
       engine_(engine_factory ? engine_factory() : train::make_engine(model, engine_kind)) {
-  ensure(engine_ != nullptr, "worker: engine factory returned null");
+  ELAN_CHECK(engine_ != nullptr, "worker: engine factory returned null");
   register_builtin_hooks();
   endpoint_ = std::make_unique<transport::ReliableEndpoint>(
       bus, name_, [this](const transport::Message& msg) { handle(msg); });

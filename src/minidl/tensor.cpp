@@ -269,18 +269,22 @@ Tensor relu_backward(const Tensor& grad_out, const Tensor& pre_activation) {
 namespace {
 
 /// Loss and gradient of one logit row; shared by both kernel modes so the
-/// per-row arithmetic (max, sum-exp, log) is literally the same code.
+/// per-row arithmetic (max, sum-exp, log) is literally the same code. Runs
+/// inside the tiled path's parallel_for, so it uses the unchecked accessors
+/// (shapes and labels were validated once by the caller).
 double softmax_row(const Tensor& logits, int i, int label, int classes, Tensor* grad) {
-  float max_logit = logits.at(i, 0);
-  for (int j = 1; j < classes; ++j) max_logit = std::max(max_logit, logits.at(i, j));
+  const float* row = logits.row(i).data();
+  float max_logit = row[0];
+  for (int j = 1; j < classes; ++j) max_logit = std::max(max_logit, row[j]);
   double denom = 0.0;
-  for (int j = 0; j < classes; ++j) denom += std::exp(logits.at(i, j) - max_logit);
-  const double row_loss = -(logits.at(i, label) - max_logit - std::log(denom));
+  for (int j = 0; j < classes; ++j) denom += std::exp(row[j] - max_logit);
+  const double row_loss = -(row[label] - max_logit - std::log(denom));
   if (grad != nullptr) {
     const int n = logits.rows();
+    float* grow = grad->row(i).data();
     for (int j = 0; j < classes; ++j) {
-      const double p = std::exp(logits.at(i, j) - max_logit) / denom;
-      grad->at(i, j) =
+      const double p = std::exp(row[j] - max_logit) / denom;
+      grow[j] =
           static_cast<float>((p - (j == label ? 1.0 : 0.0)) / static_cast<double>(n));
     }
   }

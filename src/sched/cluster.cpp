@@ -69,7 +69,7 @@ Seconds ClusterSim::estimated_remaining(const SchedJob& job, int workers) const 
 
 std::vector<topo::GpuId> ClusterSim::take_gpus(int count,
                                                const std::vector<topo::GpuId>& near) {
-  ensure(static_cast<int>(free_gpu_set_.size()) >= count, "take_gpus: pool exhausted");
+  ELAN_CHECK(static_cast<int>(free_gpu_set_.size()) >= count, "take_gpus: pool exhausted");
   const auto& topology = throughput_->topology();
   // Prefer nodes the job already occupies, then the fullest free nodes
   // (compact-first), taking whole-node runs where possible.
@@ -108,7 +108,7 @@ void ClusterSim::release_gpus(SchedJob& job, int count) {
     return population.at(topology.node_of(a)) > population.at(topology.node_of(b));
   });
   for (int i = 0; i < count; ++i) {
-    ensure(!job.gpus.empty(), "release_gpus: nothing to release");
+    ELAN_CHECK(!job.gpus.empty(), "release_gpus: nothing to release");
     free_gpu_set_.insert(job.gpus.back());
     job.gpus.pop_back();
   }
@@ -133,8 +133,8 @@ double ClusterSim::measured_throughput(const SchedJob& job) const {
 
 void ClusterSim::start_job(int index, int workers) {
   SchedJob& job = jobs_[static_cast<std::size_t>(index)];
-  ensure(job.status == JobStatus::kPending, "start_job: not pending");
-  ensure(workers <= free_gpus_, "start_job: not enough free GPUs");
+  ELAN_CHECK(job.status == JobStatus::kPending, "start_job: not pending");
+  ELAN_CHECK(workers <= free_gpus_, "start_job: not enough free GPUs");
   job.status = JobStatus::kRunning;
   job.workers = workers;
   job.total_batch = hybrid_batch(job, workers);
@@ -295,7 +295,7 @@ void ClusterSim::rebalance() {
     target[index] = job.spec.min_res;
     budget -= job.spec.min_res;
   }
-  ensure(budget >= 0, "rebalance: min allocations exceed cluster");
+  ELAN_CHECK(budget >= 0, "rebalance: min allocations exceed cluster");
 
   while (budget > 0) {
     int best_index = -1;

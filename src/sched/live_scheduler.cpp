@@ -56,7 +56,7 @@ const ElasticJob* LiveScheduler::job(const std::string& job_id) const {
 }
 
 std::vector<topo::GpuId> LiveScheduler::allocate_gpus(int n) {
-  ensure(static_cast<int>(free_.size()) >= n, "live: not enough free GPUs");
+  ELAN_CHECK(static_cast<int>(free_.size()) >= n, "live: not enough free GPUs");
   // Group free GPUs by node; take from the fullest nodes first so jobs stay
   // compact (fast replication/allreduce links).
   std::map<int, std::vector<topo::GpuId>> by_node;

@@ -1,61 +1,84 @@
 #include "sim/simulator.h"
 
+#include <algorithm>
 #include <cmath>
 
 namespace elan::sim {
 
 EventId Simulator::schedule(Seconds delay, Callback fn) {
   require(delay >= 0.0 && std::isfinite(delay), "Simulator::schedule: bad delay");
-  return schedule_at(now_ + delay, std::move(fn));
+  require(static_cast<bool>(fn), "Simulator::schedule: empty callback");
+  MutexLock lock(mu_);
+  const EventId id = next_id_++;
+  callbacks_.emplace(id, std::move(fn));
+  queue_.push(Event{now_ + delay, next_seq_++, id});
+  return id;
 }
 
 EventId Simulator::schedule_at(Seconds when, Callback fn) {
-  require(when >= now_, "Simulator::schedule_at: time in the past");
   require(static_cast<bool>(fn), "Simulator::schedule_at: empty callback");
+  MutexLock lock(mu_);
+  require(when >= now_, "Simulator::schedule_at: time in the past");
   const EventId id = next_id_++;
   callbacks_.emplace(id, std::move(fn));
   queue_.push(Event{when, next_seq_++, id});
   return id;
 }
 
-bool Simulator::cancel(EventId id) { return callbacks_.erase(id) > 0; }
+bool Simulator::cancel(EventId id) {
+  MutexLock lock(mu_);
+  return callbacks_.erase(id) > 0;
+}
 
 bool Simulator::step() {
-  while (!queue_.empty()) {
-    const Event ev = queue_.top();
-    queue_.pop();
-    auto it = callbacks_.find(ev.id);
-    if (it == callbacks_.end()) continue;  // cancelled
-    Callback fn = std::move(it->second);
-    callbacks_.erase(it);
-    ensure(ev.time >= now_, "Simulator: time went backwards");
-    now_ = ev.time;
-    ++executed_;
-    fn();
-    return true;
+  Callback fn;
+  {
+    MutexLock lock(mu_);
+    for (;;) {
+      if (queue_.empty()) return false;
+      const Event ev = queue_.top();
+      queue_.pop();
+      auto it = callbacks_.find(ev.id);
+      if (it == callbacks_.end()) continue;  // cancelled
+      fn = std::move(it->second);
+      callbacks_.erase(it);
+      ELAN_CHECK(ev.time >= now_, "Simulator: time went backwards");
+      now_ = ev.time;
+      ++executed_;
+      break;
+    }
   }
-  return false;
+  // The callback runs with no simulator lock held: it may freely call
+  // schedule / cancel / now (and components locking their own mutexes keep
+  // the lock-order graph acyclic — nothing is ever locked *around* step()).
+  fn();
+  return true;
 }
 
 Seconds Simulator::run() {
   while (step()) {
   }
-  return now_;
+  return now();
 }
 
 Seconds Simulator::run_until(Seconds deadline) {
-  require(deadline >= now_, "Simulator::run_until: deadline in the past");
-  while (!queue_.empty()) {
-    // Skip over cancelled events without advancing time.
-    const Event ev = queue_.top();
-    if (callbacks_.find(ev.id) == callbacks_.end()) {
-      queue_.pop();
-      continue;
+  {
+    MutexLock lock(mu_);
+    require(deadline >= now_, "Simulator::run_until: deadline in the past");
+  }
+  for (;;) {
+    {
+      MutexLock lock(mu_);
+      // Skip over cancelled events without advancing time.
+      while (!queue_.empty() && callbacks_.find(queue_.top().id) == callbacks_.end()) {
+        queue_.pop();
+      }
+      if (queue_.empty() || queue_.top().time > deadline) break;
     }
-    if (ev.time > deadline) break;
     step();
   }
-  now_ = deadline;
+  MutexLock lock(mu_);
+  now_ = std::max(now_, deadline);
   return now_;
 }
 

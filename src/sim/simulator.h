@@ -7,6 +7,13 @@
 // The engine is deliberately minimal: a priority queue of (time, sequence,
 // callback) events. Components schedule closures; determinism comes from the
 // strict (time, insertion-order) ordering.
+//
+// Thread safety: schedule / schedule_at / cancel / now / pending may be
+// called from any thread (the transport and master layers run off the
+// training thread, §V-B). Event *execution* is single-driver: exactly one
+// thread at a time may call run / run_until / step. Callbacks execute on the
+// driver thread with no simulator lock held, so they are free to schedule
+// further events.
 #pragma once
 
 #include <cstdint>
@@ -16,6 +23,7 @@
 #include <vector>
 
 #include "common/error.h"
+#include "common/sync.h"
 #include "common/units.h"
 
 namespace elan::sim {
@@ -28,7 +36,10 @@ class Simulator {
   using Callback = std::function<void()>;
 
   /// Current virtual time in seconds.
-  Seconds now() const { return now_; }
+  Seconds now() const {
+    MutexLock lock(mu_);
+    return now_;
+  }
 
   /// Schedules `fn` to run `delay` seconds from now. Returns a handle that
   /// can be passed to `cancel`.
@@ -42,20 +53,28 @@ class Simulator {
   bool cancel(EventId id);
 
   /// Runs until the event queue drains. Returns the final virtual time.
+  /// Single-driver (see the file comment).
   Seconds run();
 
   /// Runs events with time <= `deadline`, then advances now() to `deadline`
-  /// if the queue drained earlier. Returns the new now().
+  /// if the queue drained earlier. Returns the new now(). Single-driver.
   Seconds run_until(Seconds deadline);
 
   /// Executes at most one event. Returns false if the queue is empty.
+  /// Single-driver.
   bool step();
 
   /// Number of pending (non-cancelled) events.
-  std::size_t pending() const { return callbacks_.size(); }
+  std::size_t pending() const {
+    MutexLock lock(mu_);
+    return callbacks_.size();
+  }
 
   /// Total events executed so far (for tests / diagnostics).
-  std::uint64_t executed() const { return executed_; }
+  std::uint64_t executed() const {
+    MutexLock lock(mu_);
+    return executed_;
+  }
 
  private:
   struct Event {
@@ -70,15 +89,17 @@ class Simulator {
     }
   };
 
-  Seconds now_ = 0.0;
-  std::uint64_t next_seq_ = 0;
-  EventId next_id_ = 1;
-  std::uint64_t executed_ = 0;
+  mutable Mutex mu_{"simulator"};
+  Seconds now_ ELAN_GUARDED_BY(mu_) = 0.0;
+  std::uint64_t next_seq_ ELAN_GUARDED_BY(mu_) = 0;
+  EventId next_id_ ELAN_GUARDED_BY(mu_) = 1;
+  std::uint64_t executed_ ELAN_GUARDED_BY(mu_) = 0;
 
-  std::priority_queue<Event, std::vector<Event>, std::greater<Event>> queue_;
+  std::priority_queue<Event, std::vector<Event>, std::greater<Event>> queue_
+      ELAN_GUARDED_BY(mu_);
   // Callbacks stored out-of-line so cancellation is O(1); an event popped
   // from the queue whose id is absent here was cancelled.
-  std::unordered_map<EventId, Callback> callbacks_;
+  std::unordered_map<EventId, Callback> callbacks_ ELAN_GUARDED_BY(mu_);
 };
 
 }  // namespace elan::sim

@@ -12,16 +12,26 @@ MessageBus::MessageBus(sim::Simulator& simulator, const topo::BandwidthModel& ba
 
 void MessageBus::attach(const std::string& name, Handler handler) {
   require(static_cast<bool>(handler), "MessageBus::attach: empty handler");
+  MutexLock lock(mu_);
   handlers_[name] = std::move(handler);
 }
 
-void MessageBus::detach(const std::string& name) { handlers_.erase(name); }
+void MessageBus::detach(const std::string& name) {
+  MutexLock lock(mu_);
+  handlers_.erase(name);
+}
 
 Seconds MessageBus::message_latency(Bytes payload_bytes) const {
   return bandwidth_.control_transfer_time(payload_bytes + 128);  // + framing overhead
 }
 
 MessageId MessageBus::send(Message msg) {
+  // The whole admission path — id assignment, drop decision, per-pair FIFO
+  // clock, scheduling — happens under the bus lock: two racing sends on the
+  // same (from, to) stream must enter the simulator queue in the same order
+  // their delivery times were assigned, or a tie in deliver_at would let the
+  // later message overtake on the simulator's insertion-order tiebreak.
+  MutexLock lock(mu_);
   if (msg.id == 0) msg.id = next_id_++;
   ++stats_.sent;
 
@@ -46,7 +56,15 @@ MessageId MessageBus::send(Message msg) {
   stream_clock = deliver_at;
 
   const MessageId id = msg.id;
-  sim_.schedule_at(deliver_at, [this, msg = std::move(msg)]() {
+  sim_.schedule_at(deliver_at,
+                   [this, msg = std::move(msg)]() { deliver(msg); });
+  return id;
+}
+
+void MessageBus::deliver(const Message& msg) {
+  Handler handler;
+  {
+    MutexLock lock(mu_);
     auto it = handlers_.find(msg.to);
     if (it == handlers_.end()) {
       ++stats_.to_unknown;
@@ -54,9 +72,12 @@ MessageId MessageBus::send(Message msg) {
       return;
     }
     ++stats_.delivered;
-    it->second(msg);
-  });
-  return id;
+    // Copy the handler out: the target may detach (or re-attach a new
+    // handler) concurrently, and the handler itself may call back into the
+    // bus — it must run with no bus lock held.
+    handler = it->second;
+  }
+  handler(msg);
 }
 
 ReliableEndpoint::ReliableEndpoint(MessageBus& bus, std::string name, Handler handler,
@@ -67,29 +88,39 @@ ReliableEndpoint::ReliableEndpoint(MessageBus& bus, std::string name, Handler ha
 }
 
 ReliableEndpoint::~ReliableEndpoint() {
-  *alive_token_ = false;
-  if (alive_) bus_.detach(name_);
+  alive_token_->store(false);
+  shutdown();
 }
 
 void ReliableEndpoint::shutdown() {
-  if (!alive_) return;
-  alive_ = false;
-  bus_.detach(name_);
-  for (auto& [id, p] : pending_) {
-    if (p.timer != 0) bus_.simulator().cancel(p.timer);
-    p.timer = 0;
+  std::vector<sim::EventId> timers;
+  {
+    MutexLock lock(mu_);
+    if (!alive_) return;
+    alive_ = false;
+    for (auto& [id, p] : pending_) {
+      if (p.timer != 0) timers.push_back(p.timer);
+    }
+    pending_.clear();
   }
-  pending_.clear();
+  // Outside the endpoint lock: detach locks the bus, cancel locks the
+  // simulator; neither needs our state anymore.
+  bus_.detach(name_);
+  for (sim::EventId t : timers) bus_.simulator().cancel(t);
 }
 
 void ReliableEndpoint::restart() {
-  if (alive_) return;
-  alive_ = true;
+  {
+    MutexLock lock(mu_);
+    if (alive_) return;
+    alive_ = true;
+  }
   bus_.attach(name_, [this](const Message& msg) { on_raw(msg); });
 }
 
 MessageId ReliableEndpoint::send(const std::string& to, const std::string& type,
                                  std::vector<std::uint8_t> payload) {
+  MutexLock lock(mu_);
   require(alive_, "ReliableEndpoint::send on dead endpoint " + name_);
   Message msg;
   msg.from = name_;
@@ -119,7 +150,8 @@ void ReliableEndpoint::arm_timer(MessageId id) {
   auto token = alive_token_;
   auto& p = pending_.at(id);
   p.timer = bus_.simulator().schedule(params_.ack_timeout, [this, token, id]() {
-    if (!*token) return;
+    if (!token->load()) return;
+    MutexLock lock(mu_);
     auto it = pending_.find(id);
     if (it == pending_.end() || !alive_) return;
     it->second.timer = 0;
@@ -135,11 +167,16 @@ void ReliableEndpoint::arm_timer(MessageId id) {
 
 void ReliableEndpoint::on_raw(const Message& msg) {
   if (msg.is_ack) {
-    auto it = pending_.find(msg.ack_of);
-    if (it != pending_.end()) {
-      if (it->second.timer != 0) bus_.simulator().cancel(it->second.timer);
-      pending_.erase(it);
+    sim::EventId timer = 0;
+    {
+      MutexLock lock(mu_);
+      auto it = pending_.find(msg.ack_of);
+      if (it != pending_.end()) {
+        timer = it->second.timer;
+        pending_.erase(it);
+      }
     }
+    if (timer != 0) bus_.simulator().cancel(timer);
     return;
   }
 
@@ -152,10 +189,18 @@ void ReliableEndpoint::on_raw(const Message& msg) {
   ack.ack_of = msg.id;
   bus_.send(std::move(ack));
 
-  if (!seen_.insert(msg.id).second) {
+  bool fresh = false;
+  {
+    MutexLock lock(mu_);
+    fresh = seen_.insert(msg.id).second;
+  }
+  if (!fresh) {
     log_trace() << name_ << ": duplicate message " << msg.id << " suppressed";
     return;
   }
+  // The application handler runs with no endpoint lock held: it typically
+  // locks its own state (e.g. the application master) and then sends replies
+  // back through this endpoint — holding mu_ here would close a lock cycle.
   handler_(msg);
 }
 

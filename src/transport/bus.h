@@ -5,8 +5,16 @@
 // and are silently lost when the destination endpoint is disconnected.
 // ReliableEndpoint layers unique message ids, acknowledgements, timeouts and
 // resends on top — exactly the fault-tolerance story of paper §V-D.
+//
+// Thread safety: both classes are fully thread-safe — send / attach / detach
+// and the stats accessors may race freely (the §V-B coordination loop runs
+// off the training thread). Handlers are invoked on the simulator's driver
+// thread with *no* transport lock held, so a handler may call back into the
+// bus or endpoint without creating a lock cycle. Lock order (enforced by the
+// elan::Mutex order detector): reliable_endpoint -> message_bus -> simulator.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <map>
@@ -16,6 +24,7 @@
 #include <vector>
 
 #include "common/rng.h"
+#include "common/sync.h"
 #include "common/units.h"
 #include "sim/simulator.h"
 #include "topology/bandwidth.h"
@@ -53,36 +62,54 @@ class MessageBus {
   /// restart). Safe to call for unknown names.
   void detach(const std::string& name);
 
-  bool attached(const std::string& name) const { return handlers_.count(name) > 0; }
+  bool attached(const std::string& name) const {
+    MutexLock lock(mu_);
+    return handlers_.count(name) > 0;
+  }
 
   /// Sends unreliably. Assigns a fresh id if msg.id == 0. Returns the id.
   MessageId send(Message msg);
 
   /// Reserves a globally unique message id without sending anything.
-  MessageId allocate_id() { return next_id_++; }
+  MessageId allocate_id() {
+    MutexLock lock(mu_);
+    return next_id_++;
+  }
 
   /// Latency the bus would charge for a message of `payload_bytes`.
   Seconds message_latency(Bytes payload_bytes) const;
 
-  const BusStats& stats() const { return stats_; }
+  /// Snapshot of the counters (by value: the bus keeps mutating them).
+  BusStats stats() const {
+    MutexLock lock(mu_);
+    return stats_;
+  }
+
   sim::Simulator& simulator() { return sim_; }
 
   /// Fault injection: force-drop the next `n` messages sent from `from` (any
   /// destination). Used by fault-tolerance tests.
-  void inject_drops(const std::string& from, int n) { forced_drops_[from] += n; }
+  void inject_drops(const std::string& from, int n) {
+    MutexLock lock(mu_);
+    forced_drops_[from] += n;
+  }
 
  private:
   sim::Simulator& sim_;
   const topo::BandwidthModel& bandwidth_;
-  BusParams params_;
-  Rng rng_;
-  MessageId next_id_ = 1;
-  std::map<std::string, Handler> handlers_;
-  std::map<std::string, int> forced_drops_;
+  const BusParams params_;
+
+  mutable Mutex mu_{"message_bus"};
+  Rng rng_ ELAN_GUARDED_BY(mu_);
+  MessageId next_id_ ELAN_GUARDED_BY(mu_) = 1;
+  std::map<std::string, Handler> handlers_ ELAN_GUARDED_BY(mu_);
+  std::map<std::string, int> forced_drops_ ELAN_GUARDED_BY(mu_);
   /// ZeroMQ guarantees per-connection ordering: jitter must not let a later
   /// message between the same (from, to) pair overtake an earlier one.
-  std::map<std::pair<std::string, std::string>, Seconds> pair_clock_;
-  BusStats stats_;
+  std::map<std::pair<std::string, std::string>, Seconds> pair_clock_ ELAN_GUARDED_BY(mu_);
+  BusStats stats_ ELAN_GUARDED_BY(mu_);
+
+  void deliver(const Message& msg);
 };
 
 struct ReliableParams {
@@ -91,7 +118,8 @@ struct ReliableParams {
 };
 
 /// Reliable messaging endpoint: unique ids, ack, timeout-based resend and
-/// receiver-side de-duplication.
+/// receiver-side de-duplication. Thread-safe (see the file comment); the
+/// application handler runs with no endpoint lock held.
 class ReliableEndpoint {
  public:
   using Handler = std::function<void(const Message&)>;
@@ -117,8 +145,14 @@ class ReliableEndpoint {
   /// state is intentionally kept: message ids are globally unique.
   void restart();
 
-  std::uint64_t retries() const { return retries_; }
-  std::uint64_t gave_up() const { return gave_up_; }
+  std::uint64_t retries() const {
+    MutexLock lock(mu_);
+    return retries_;
+  }
+  std::uint64_t gave_up() const {
+    MutexLock lock(mu_);
+    return gave_up_;
+  }
 
  private:
   struct Pending {
@@ -131,17 +165,20 @@ class ReliableEndpoint {
   std::string name_;
   Handler handler_;
   Params params_;
-  bool alive_ = false;
-  std::map<MessageId, Pending> pending_;
-  std::set<MessageId> seen_;  // receiver-side dedup of delivered app messages
-  std::uint64_t retries_ = 0;
-  std::uint64_t gave_up_ = 0;
+
+  mutable Mutex mu_{"reliable_endpoint"};
+  bool alive_ ELAN_GUARDED_BY(mu_) = false;
+  std::map<MessageId, Pending> pending_ ELAN_GUARDED_BY(mu_);
+  std::set<MessageId> seen_ ELAN_GUARDED_BY(mu_);  // receiver-side dedup
+  std::uint64_t retries_ ELAN_GUARDED_BY(mu_) = 0;
+  std::uint64_t gave_up_ ELAN_GUARDED_BY(mu_) = 0;
   // Guards callbacks that may fire after destruction.
-  std::shared_ptr<bool> alive_token_ = std::make_shared<bool>(true);
+  std::shared_ptr<std::atomic<bool>> alive_token_ =
+      std::make_shared<std::atomic<bool>>(true);
 
   void on_raw(const Message& msg);
-  void transmit(MessageId id);
-  void arm_timer(MessageId id);
+  void transmit(MessageId id) ELAN_REQUIRES(mu_);
+  void arm_timer(MessageId id) ELAN_REQUIRES(mu_);
 };
 
 }  // namespace elan::transport

@@ -17,6 +17,7 @@ void KvStore::get(const std::string& key,
 }
 
 std::optional<std::vector<std::uint8_t>> KvStore::get_now(const std::string& key) const {
+  MutexLock lock(mu_);
   ++gets_;
   auto it = data_.find(key);
   if (it == data_.end()) return std::nullopt;
@@ -24,13 +25,18 @@ std::optional<std::vector<std::uint8_t>> KvStore::get_now(const std::string& key
 }
 
 void KvStore::put_now(const std::string& key, std::vector<std::uint8_t> value) {
+  MutexLock lock(mu_);
   ++puts_;
   data_[key] = std::move(value);
 }
 
-bool KvStore::erase(const std::string& key) { return data_.erase(key) > 0; }
+bool KvStore::erase(const std::string& key) {
+  MutexLock lock(mu_);
+  return data_.erase(key) > 0;
+}
 
 std::vector<std::string> KvStore::keys_with_prefix(const std::string& prefix) const {
+  MutexLock lock(mu_);
   std::vector<std::string> out;
   for (auto it = data_.lower_bound(prefix); it != data_.end(); ++it) {
     if (it->first.compare(0, prefix.size(), prefix) != 0) break;

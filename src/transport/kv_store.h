@@ -7,6 +7,10 @@
 // Data survives AM crashes by construction (the store lives outside the AM).
 // Operation latency models a Raft quorum round trip; callers receive results
 // through the simulator so timing is accounted for.
+//
+// Thread-safe: puts and gets may race from any thread (like a real etcd
+// client); each operation is individually atomic. Lock order:
+// kv_store -> simulator.
 #pragma once
 
 #include <cstdint>
@@ -16,6 +20,7 @@
 #include <string>
 #include <vector>
 
+#include "common/sync.h"
 #include "common/units.h"
 #include "sim/simulator.h"
 
@@ -48,16 +53,24 @@ class KvStore {
   /// Keys with the given prefix, sorted.
   std::vector<std::string> keys_with_prefix(const std::string& prefix) const;
 
-  std::uint64_t puts() const { return puts_; }
-  std::uint64_t gets() const { return gets_; }
+  std::uint64_t puts() const {
+    MutexLock lock(mu_);
+    return puts_;
+  }
+  std::uint64_t gets() const {
+    MutexLock lock(mu_);
+    return gets_;
+  }
   const KvParams& params() const { return params_; }
 
  private:
   sim::Simulator& sim_;
-  KvParams params_;
-  std::map<std::string, std::vector<std::uint8_t>> data_;
-  mutable std::uint64_t puts_ = 0;
-  mutable std::uint64_t gets_ = 0;
+  const KvParams params_;
+
+  mutable Mutex mu_{"kv_store"};
+  std::map<std::string, std::vector<std::uint8_t>> data_ ELAN_GUARDED_BY(mu_);
+  mutable std::uint64_t puts_ ELAN_GUARDED_BY(mu_) = 0;
+  mutable std::uint64_t gets_ ELAN_GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace elan::transport

@@ -1,0 +1,42 @@
+// Negative-compile check for the thread-safety annotations.
+//
+// Not part of the elan_tests binary (the tests/ GLOB is non-recursive on
+// purpose). tests/CMakeLists.txt registers two clang-only ctest entries over
+// this file with `-fsyntax-only -Wthread-safety -Werror=thread-safety`:
+//
+//   * negative_compile_guarded_by — compiles it as-is and expects FAILURE
+//     (WILL_FAIL): touching `value_` without holding `mu_` must be rejected.
+//   * negative_compile_guarded_by_control — compiles it with
+//     -DELAN_NEGATIVE_COMPILE_FIXED and expects success, proving the failure
+//     above comes from the missing lock and not from an unrelated error.
+
+#include "common/sync.h"
+
+namespace {
+
+class Counter {
+ public:
+  void increment() {
+#if defined(ELAN_NEGATIVE_COMPILE_FIXED)
+    elan::MutexLock lock(mu_);
+#endif
+    ++value_;
+  }
+
+  long read() {
+    elan::MutexLock lock(mu_);
+    return value_;
+  }
+
+ private:
+  elan::Mutex mu_{"negative_compile_counter"};
+  long value_ ELAN_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Counter counter;
+  counter.increment();
+  return counter.read() == 1 ? 0 : 1;
+}

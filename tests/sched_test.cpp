@@ -188,7 +188,7 @@ TEST(Cluster, ElasticImprovesUtilization) {
 TEST(Cluster, AllocationsRespectBounds) {
   // No job ever runs below min_res or above max_res under elastic policies —
   // checked indirectly: the simulation finishes and GPU accounting stays
-  // consistent (free never negative would trip the internal ensure()).
+  // consistent (free never negative would trip an internal ELAN_CHECK).
   SchedFixture f;
   const auto trace = f.small_trace();
   EXPECT_NO_THROW(f.run(PolicyKind::kElasticBackfill, baselines::System::kElan, trace));
