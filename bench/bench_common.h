@@ -12,6 +12,7 @@
 #include "baselines/adjustment_cost.h"
 #include "common/log.h"
 #include "common/table.h"
+#include "obs/obs.h"
 #include "storage/filesystem.h"
 #include "topology/bandwidth.h"
 #include "topology/topology.h"
@@ -39,6 +40,10 @@ struct SchedTestbed {
 };
 
 inline void print_header(const std::string& title, const std::string& note = "") {
+  // Every bench calls this first, so it doubles as the observability hook:
+  // ELAN_TRACE=/ELAN_METRICS= give any bench a trace / metrics sidecar
+  // without per-binary wiring (dumped via atexit).
+  obs::init_from_env();
   std::printf("\n=== %s ===\n", title.c_str());
   if (!note.empty()) std::printf("%s\n", note.c_str());
   std::printf("\n");

@@ -23,6 +23,7 @@
 #include "common/flags.h"
 #include "common/thread_pool.h"
 #include "comm/group.h"
+#include "obs/obs.h"
 #include "minidl/dataset.h"
 #include "minidl/parallel.h"
 #include "minidl/tensor.h"
@@ -242,12 +243,15 @@ int run_bench(int argc, char** argv) {
                "max thread count to benchmark (also honours ELAN_THREADS)");
   flags.define("repeats", "3", "timing repetitions; best-of is reported");
   flags.define("out", "BENCH_kernels.json", "output JSON path");
+  define_log_level_flag(flags);
   try {
     flags.parse(argc, argv);
     if (flags.help_requested()) {
       std::printf("%s", flags.usage("bench_kernels").c_str());
       return 0;
     }
+    apply_log_level_flag(flags);
+    obs::init_from_env();
     const int threads = static_cast<int>(flags.get_int("threads"));
     const int repeats = static_cast<int>(flags.get_int("repeats"));
     require(threads >= 1, "--threads must be >= 1");

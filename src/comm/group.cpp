@@ -4,6 +4,7 @@
 
 #include "common/error.h"
 #include "common/thread_pool.h"
+#include "obs/trace.h"
 
 namespace elan::comm {
 
@@ -73,6 +74,7 @@ CommGroup CommGroup::reconstructed(std::vector<topo::GpuId> new_members) const {
 
 void allreduce_sum(std::vector<std::vector<double>*> per_rank) {
   require(!per_rank.empty(), "allreduce_sum: no ranks");
+  ELAN_TRACE_SCOPE("comm", "allreduce_sum");
   const std::size_t n = per_rank.front()->size();
   for (auto* v : per_rank) {
     require(v != nullptr && v->size() == n, "allreduce_sum: rank size mismatch");

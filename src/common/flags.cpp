@@ -3,6 +3,8 @@
 #include <cstdlib>
 #include <sstream>
 
+#include "common/log.h"
+
 namespace elan {
 
 void Flags::define(const std::string& name, const std::string& default_value,
@@ -84,6 +86,22 @@ bool Flags::get_bool(const std::string& name) const {
   if (v == "true" || v == "1" || v == "yes") return true;
   if (v == "false" || v == "0" || v == "no") return false;
   throw InvalidArgument("flag --" + name + " expects a boolean, got '" + v + "'");
+}
+
+void define_log_level_flag(Flags& flags) {
+  std::string def = "warn";
+  if (const char* env = std::getenv("ELAN_LOG"); env != nullptr && *env != '\0') {
+    if (parse_log_level(env)) def = env;
+  }
+  flags.define("log-level", def,
+               "log verbosity: trace|debug|info|warn|error|off (default honours ELAN_LOG)");
+}
+
+void apply_log_level_flag(const Flags& flags) {
+  const std::string v = flags.get("log-level");
+  const auto level = parse_log_level(v);
+  require(level.has_value(), "flag --log-level: unknown level '" + v + "'");
+  Logger::set_level(*level);
 }
 
 std::string Flags::usage(const std::string& program) const {

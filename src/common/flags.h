@@ -49,4 +49,13 @@ class Flags {
   const Spec& spec(const std::string& name) const;
 };
 
+/// Registers the uniform --log-level flag (trace|debug|info|warn|error|off).
+/// The default comes from the ELAN_LOG environment variable when set, so the
+/// precedence is: --log-level > ELAN_LOG > the logger's compiled default.
+void define_log_level_flag(Flags& flags);
+
+/// Applies a parsed --log-level to the global Logger; throws InvalidArgument
+/// on an unrecognised level name.
+void apply_log_level_flag(const Flags& flags);
+
 }  // namespace elan

@@ -1,13 +1,30 @@
 #include "common/log.h"
 
+#include <cctype>
+#include <chrono>
 #include <cstdio>
+#include <cstdlib>
+#include <ctime>
+
+#include "common/sync.h"
 
 namespace elan {
 
 namespace {
 
-LogLevel g_level = LogLevel::kWarn;
-Logger::Sink g_sink;
+// Relaxed ordering is enough: the level is a filter, not a synchronisation
+// point, and log() below re-reads it anyway.
+std::atomic<int> g_level{static_cast<int>(LogLevel::kWarn)};
+
+struct SinkState {
+  Mutex mu{"logger"};
+  Logger::Sink sink ELAN_GUARDED_BY(mu);
+};
+
+SinkState& sink_state() {
+  static SinkState* state = new SinkState();  // leaked: loggable until the very end
+  return *state;
+}
 
 const char* level_name(LogLevel level) {
   switch (level) {
@@ -23,19 +40,66 @@ const char* level_name(LogLevel level) {
 
 }  // namespace
 
-LogLevel Logger::level() { return g_level; }
+std::optional<LogLevel> parse_log_level(const std::string& name) {
+  std::string lower;
+  lower.reserve(name.size());
+  for (char c : name) lower += static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  if (lower == "trace") return LogLevel::kTrace;
+  if (lower == "debug") return LogLevel::kDebug;
+  if (lower == "info") return LogLevel::kInfo;
+  if (lower == "warn" || lower == "warning") return LogLevel::kWarn;
+  if (lower == "error") return LogLevel::kError;
+  if (lower == "off" || lower == "none") return LogLevel::kOff;
+  return std::nullopt;
+}
 
-void Logger::set_level(LogLevel level) { g_level = level; }
+const char* to_string(LogLevel level) { return level_name(level); }
 
-void Logger::set_sink(Sink sink) { g_sink = std::move(sink); }
+LogLevel Logger::level() {
+  return static_cast<LogLevel>(g_level.load(std::memory_order_relaxed));
+}
+
+void Logger::set_level(LogLevel level) {
+  g_level.store(static_cast<int>(level), std::memory_order_relaxed);
+}
+
+void Logger::init_from_env() {
+  if (const char* env = std::getenv("ELAN_LOG"); env != nullptr && *env != '\0') {
+    if (const auto parsed = parse_log_level(env)) set_level(*parsed);
+  }
+}
+
+void Logger::set_sink(Sink sink) {
+  auto& state = sink_state();
+  MutexLock lock(state.mu);
+  state.sink = std::move(sink);
+}
+
+std::string Logger::format_line(LogLevel level, const std::string& message) {
+  const auto now = std::chrono::system_clock::now();
+  const std::time_t secs = std::chrono::system_clock::to_time_t(now);
+  const auto ms = std::chrono::duration_cast<std::chrono::milliseconds>(
+                      now.time_since_epoch())
+                      .count() %
+                  1000;
+  std::tm tm{};
+  localtime_r(&secs, &tm);
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "[%-5s %02d:%02d:%02d.%03d t%02u] ", level_name(level),
+                tm.tm_hour, tm.tm_min, tm.tm_sec, static_cast<int>(ms),
+                this_thread_index());
+  return buf + message;
+}
 
 void Logger::log(LogLevel level, const std::string& message) {
-  if (level < g_level) return;
-  if (g_sink) {
-    g_sink(level, message);
+  if (static_cast<int>(level) < g_level.load(std::memory_order_relaxed)) return;
+  auto& state = sink_state();
+  MutexLock lock(state.mu);
+  if (state.sink) {
+    state.sink(level, message);
     return;
   }
-  std::fprintf(stderr, "[%s] %s\n", level_name(level), message.c_str());
+  std::fprintf(stderr, "%s\n", format_line(level, message).c_str());
 }
 
 }  // namespace elan

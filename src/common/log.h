@@ -1,11 +1,21 @@
 // Minimal leveled logger.
 //
-// The simulator is deterministic and single threaded, so the logger is
-// intentionally simple: a global level, a sink that defaults to stderr, and
-// printf-free stream-style composition at the call site via Logger::log.
+// Thread-safe: the runtime has been concurrent since the parallel-execution
+// PR (thread pool workers, off-thread coordination), so lines may be emitted
+// from any thread. The level check is a relaxed atomic load — the disabled
+// fast path costs one branch — and the sink is guarded by an elan::Mutex, so
+// concurrent lines never interleave mid-line. The default stderr sink
+// prefixes every line with the level, wall-clock time and the emitting
+// thread's dense index, e.g. "[WARN  12:34:56.789 t03] message".
+//
+// The sink callback is invoked with the logger mutex held (that is what
+// serialises output); a sink must therefore not log, or it deadlocks on the
+// non-recursive mutex.
 #pragma once
 
+#include <atomic>
 #include <functional>
+#include <optional>
 #include <sstream>
 #include <string>
 
@@ -13,7 +23,11 @@ namespace elan {
 
 enum class LogLevel { kTrace = 0, kDebug = 1, kInfo = 2, kWarn = 3, kError = 4, kOff = 5 };
 
-/// Global logger. Not thread-safe by design (the simulator is single-threaded).
+/// "trace"/"debug"/"info"/"warn"/"error"/"off" (case-insensitive) -> level.
+std::optional<LogLevel> parse_log_level(const std::string& name);
+const char* to_string(LogLevel level);
+
+/// Global logger. Thread-safe (see the file comment).
 class Logger {
  public:
   using Sink = std::function<void(LogLevel, const std::string&)>;
@@ -21,12 +35,21 @@ class Logger {
   static LogLevel level();
   static void set_level(LogLevel level);
 
+  /// Applies the ELAN_LOG environment variable (trace|debug|info|warn|error|
+  /// off) to the global level; unknown or unset values leave it untouched.
+  static void init_from_env();
+
   /// Replace the sink (used by tests to capture output). Pass nullptr to
-  /// restore the default stderr sink.
+  /// restore the default stderr sink. The sink runs under the logger mutex
+  /// and must not log.
   static void set_sink(Sink sink);
 
   static void log(LogLevel level, const std::string& message);
   static bool enabled(LogLevel level) { return level >= Logger::level(); }
+
+  /// The default sink's line format ("[LEVEL HH:MM:SS.mmm tNN] message"),
+  /// exposed so tests can check the prefix without scraping stderr.
+  static std::string format_line(LogLevel level, const std::string& message);
 };
 
 namespace detail {

@@ -1,6 +1,7 @@
 #include "common/sync.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cstdio>
 #include <cstdlib>
 #include <map>
@@ -193,6 +194,12 @@ std::uint32_t register_class(const char* name) {
 }  // namespace
 
 bool lock_order_checks_enabled() { return kLockOrderChecks; }
+
+std::uint32_t this_thread_index() {
+  static std::atomic<std::uint32_t> next{0};
+  thread_local const std::uint32_t index = next.fetch_add(1, std::memory_order_relaxed);
+  return index;
+}
 
 Mutex::Mutex(const char* name) : name_(name) {
   if (kLockOrderChecks) class_id_ = register_class(name);

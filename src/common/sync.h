@@ -80,6 +80,12 @@ namespace elan {
 /// builds configured without the detector.
 bool lock_order_checks_enabled();
 
+/// Small dense per-thread index, assigned on first use in thread-arrival
+/// order. Stable for the thread's lifetime; indices are never reused within
+/// a process. The logger and the observability layer use it to tag output
+/// with a readable thread id (std::thread::id is opaque and wide).
+std::uint32_t this_thread_index();
+
 /// Annotated mutex. Non-recursive. See the file comment for the naming
 /// convention; the name also appears in every detector report.
 class ELAN_CAPABILITY("mutex") Mutex {

@@ -4,6 +4,10 @@
 #include <cstdlib>
 #include <exception>
 #include <memory>
+#include <utility>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace elan {
 
@@ -26,6 +30,23 @@ ThreadPool::~ThreadPool() {
 }
 
 void ThreadPool::enqueue(std::function<void()> task) {
+  static auto& tasks_total = obs::MetricsRegistry::instance().counter(
+      "elan_threadpool_tasks_total", "Tasks submitted to the thread pool");
+  tasks_total.add(1);
+  if (obs::Tracer::enabled()) {
+    // Wrap the task so the trace shows queue-wait separately from run time.
+    // The wrapper allocates, but only when tracing is on.
+    const double enqueued_us = obs::Tracer::instance().now_us();
+    task = [inner = std::move(task), enqueued_us] {
+      auto& tracer = obs::Tracer::instance();
+      const double start_us = tracer.now_us();
+      if (start_us > enqueued_us) {
+        tracer.complete("threadpool", "queue_wait", enqueued_us, start_us - enqueued_us);
+      }
+      ELAN_TRACE_SCOPE("threadpool", "task_run");
+      inner();
+    };
+  }
   {
     MutexLock lock(mutex_);
     ELAN_CHECK(!stop_, "ThreadPool: submit after shutdown");

@@ -5,6 +5,9 @@
 #include "common/error.h"
 #include "common/log.h"
 #include "common/serialize.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "topology/topology.h"
 
 namespace elan {
 
@@ -311,8 +314,22 @@ void ElasticJob::begin_iteration() {
 void ElasticJob::coordinate_round() {
   decisions_outstanding_ = static_cast<int>(workers_.size());
   adjust_signalled_ = false;
+  const Seconds round_started = sim_.now();
   for (auto& [id, worker] : workers_) {
-    worker->coordinate(iteration_, [this](const DecisionMsg& decision) {
+    const int worker_id = id;
+    worker->coordinate(iteration_, [this, worker_id, round_started](
+                                       const DecisionMsg& decision) {
+      if (obs::Tracer::enabled()) {
+        // Sim-time span per worker, on a per-worker tid lane: the round is a
+        // fan-out, so the overlap (and any straggling reply) is visible.
+        obs::Tracer::instance().complete(
+            "coordination", "round", round_started * 1e6,
+            (sim_.now() - round_started) * 1e6,
+            "{\"worker\":" + std::to_string(worker_id) +
+                ",\"iteration\":" + std::to_string(iteration_) +
+                ",\"adjust\":" + (decision.adjust ? "true" : "false") + "}",
+            static_cast<std::uint64_t>(worker_id));
+      }
       if (decision.adjust) {
         adjust_signalled_ = true;
         signalled_plan_ = decision.plan;
@@ -524,6 +541,23 @@ void ElasticJob::execute_elan_adjustment(AdjustmentRecord record, const Adjustme
     const auto rep_plan = planner_.plan(request);
     replication_time = rep_plan.total_time;
 
+    if (obs::Tracer::enabled()) {
+      // One sim-time span per planned transfer, laid out on the destination
+      // worker's tid lane. Transfers over distinct links overlap — exactly
+      // the concurrency §IV-3 claims over serial replication.
+      const Seconds base = sim_.now();
+      auto& tracer = obs::Tracer::instance();
+      for (const auto& t : rep_plan.transfers) {
+        tracer.complete(
+            "replication", "transfer", (base + t.start) * 1e6, t.duration() * 1e6,
+            "{\"src\":" + std::to_string(t.source_worker) +
+                ",\"dst\":" + std::to_string(t.dest_worker) + ",\"link\":\"" +
+                obs::json_escape(topo::to_string(t.level)) +
+                "\",\"gpu_bytes\":" + std::to_string(request.gpu_state_bytes) + "}",
+            static_cast<std::uint64_t>(t.dest_worker));
+      }
+    }
+
     // Move the actual bytes along the planned source->destination pairs.
     for (const auto& t : rep_plan.transfers) {
       auto src = workers_.find(t.source_worker);
@@ -646,6 +680,44 @@ void ElasticJob::finish_adjustment(AdjustmentRecord record, const AdjustmentPlan
   record.total_batch_after = total_batch_;
   record.completed_at = sim_.now();
   adjustments_.push_back(record);
+
+  if (obs::Tracer::enabled()) {
+    auto& tracer = obs::Tracer::instance();
+    // Whole-adjustment span first: category/name "adjustment"/"adjustment"
+    // is the key elan_trace_report uses for critical-path shares.
+    tracer.complete(
+        "adjustment", "adjustment", record.started_at * 1e6, record.pause_time() * 1e6,
+        std::string("{\"type\":\"") + to_string(record.type) +
+            "\",\"mechanism\":\"" + to_string(config_.mechanism) +
+            "\",\"workers\":\"" + std::to_string(record.workers_before) + "->" +
+            std::to_string(record.workers_after) + "\"}");
+    // Then the breakdown as back-to-back spans in total()'s field order —
+    // the phases are modelled as sequential, so this reconstructs the
+    // paper's Fig 10/11 stacked timeline.
+    const std::pair<const char*, Seconds> phases[] = {
+        {"checkpoint", record.breakdown.checkpoint},
+        {"shutdown", record.breakdown.shutdown},
+        {"start", record.breakdown.start},
+        {"init", record.breakdown.init},
+        {"load", record.breakdown.load},
+        {"replication", record.breakdown.replication},
+        {"reconstruct", record.breakdown.reconstruct},
+        {"repartition", record.breakdown.repartition},
+    };
+    Seconds at = record.started_at;
+    for (const auto& [name, dur] : phases) {
+      if (dur <= 0) continue;
+      tracer.complete("adjustment", name, at * 1e6, dur * 1e6);
+      at += dur;
+    }
+  }
+  static auto& adjustments_total = obs::MetricsRegistry::instance().counter(
+      "elan_adjustments_total", "Completed resource adjustments");
+  static auto& pause_hist = obs::MetricsRegistry::instance().histogram(
+      "elan_adjustment_pause_seconds", obs::MetricsRegistry::latency_seconds_bounds(),
+      "Training pause per adjustment (the paper's Fig 15 metric)");
+  adjustments_total.add(1);
+  pause_hist.observe(record.pause_time());
 
   master_->on_adjustment_complete();
   log_info() << config_.job_id << ": " << to_string(record.type) << " "

@@ -4,6 +4,7 @@
 
 #include "common/error.h"
 #include "common/log.h"
+#include "obs/trace.h"
 
 namespace elan {
 
@@ -34,6 +35,20 @@ ApplicationMaster::ApplicationMaster(transport::MessageBus& bus, transport::KvSt
                                      std::string job_id)
     : bus_(bus), kv_(kv), job_id_(std::move(job_id)), name_("am/" + job_id_) {
   attach_endpoint();
+}
+
+void ApplicationMaster::set_phase_locked(AmPhase next) {
+  if (obs::Tracer::enabled()) {
+    // One span per phase the AM has just left, named "phase/<name>", so the
+    // timeline shows how long the AM spent waiting for reports vs adjusting.
+    auto& tracer = obs::Tracer::instance();
+    const double now_us = tracer.now_us();
+    tracer.complete("master", std::string("phase/") + to_string(phase_), phase_started_us_,
+                    now_us - phase_started_us_,
+                    "{\"job\":\"" + obs::json_escape(job_id_) + "\"}");
+    phase_started_us_ = now_us;
+  }
+  phase_ = next;
 }
 
 void ApplicationMaster::attach_endpoint() {
@@ -103,7 +118,7 @@ std::vector<WorkerLaunchSpec> ApplicationMaster::scale_out_locked(
     pending_reports_.insert(id);
     specs.push_back({id, gpu});
   }
-  phase_ = AmPhase::kWaitingReady;
+  set_phase_locked(AmPhase::kWaitingReady);
   persist();
   return specs;
 }
@@ -125,7 +140,7 @@ void ApplicationMaster::scale_in_locked(const std::vector<int>& victims) {
   plan_.type = AdjustmentType::kScaleIn;
   plan_.leave = victims;
   // No new workers to wait for: ready immediately.
-  phase_ = AmPhase::kReady;
+  set_phase_locked(AmPhase::kReady);
   persist();
 }
 
@@ -154,7 +169,7 @@ std::vector<WorkerLaunchSpec> ApplicationMaster::migrate_locked(
     pending_reports_.insert(id);
     specs.push_back({id, gpu});
   }
-  phase_ = AmPhase::kWaitingReady;
+  set_phase_locked(AmPhase::kWaitingReady);
   persist();
   return specs;
 }
@@ -166,9 +181,13 @@ void ApplicationMaster::on_report(const ReportMsg& msg) {
     // Duplicate or stale report (e.g. resent after an AM restart): ignore.
     return;
   }
+  if (obs::Tracer::enabled()) {
+    obs::Tracer::instance().instant(
+        "master", "worker_report", "{\"worker\":" + std::to_string(msg.worker) + "}");
+  }
   pending_reports_.erase(msg.worker);
   if (pending_reports_.empty()) {
-    phase_ = AmPhase::kReady;
+    set_phase_locked(AmPhase::kReady);
     log_debug() << name_ << ": all new workers reported, plan v" << plan_.version
                 << " ready";
   }
@@ -188,7 +207,12 @@ void ApplicationMaster::on_coordinate(const CoordinateMsg& msg, const std::strin
       decision.adjust = true;
       decision.plan = plan_;
       if (phase_ == AmPhase::kReady) {
-        phase_ = AmPhase::kAdjusting;
+        if (obs::Tracer::enabled()) {
+          obs::Tracer::instance().instant(
+              "master", "instruct_adjustment",
+              "{\"plan_version\":" + std::to_string(plan_.version) + "}");
+        }
+        set_phase_locked(AmPhase::kAdjusting);
         persist();
       }
     }
@@ -203,7 +227,7 @@ void ApplicationMaster::on_adjustment_complete() {
   for (int v : plan_.leave) workers_.erase(v);
   plan_ = AdjustmentPlan{};
   plan_.version = 0;
-  phase_ = AmPhase::kSteady;
+  set_phase_locked(AmPhase::kSteady);
   persist();
 }
 

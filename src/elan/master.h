@@ -137,6 +137,9 @@ class ApplicationMaster {
 
   mutable Mutex mu_{"application_master"};
   AmPhase phase_ ELAN_GUARDED_BY(mu_) = AmPhase::kSteady;
+  // Tracer-clock timestamp of the last phase transition; each transition
+  // emits a span covering the phase that just ended (category "master").
+  double phase_started_us_ ELAN_GUARDED_BY(mu_) = 0;
   std::map<int, topo::GpuId> workers_ ELAN_GUARDED_BY(mu_);
   AdjustmentPlan plan_ ELAN_GUARDED_BY(mu_);
   // Joining workers that have not reported yet.
@@ -159,6 +162,8 @@ class ApplicationMaster {
   std::vector<WorkerLaunchSpec> migrate_locked(const std::vector<int>& victims,
                                                const std::vector<topo::GpuId>& target_gpus)
       ELAN_REQUIRES(mu_);
+  // Transition the phase state machine, tracing the phase that just ended.
+  void set_phase_locked(AmPhase next) ELAN_REQUIRES(mu_);
   void persist() ELAN_REQUIRES(mu_);
   void restore_from_bytes(std::span<const std::uint8_t> data);
   std::string kv_key() const { return "elan/am/" + job_id_; }

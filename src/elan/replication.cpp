@@ -3,6 +3,8 @@
 #include <algorithm>
 
 #include "common/error.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace elan {
 
@@ -18,9 +20,15 @@ const char* to_string(ReplicationStrategy strategy) {
 
 ReplicationPlan ReplicationPlanner::plan(const ReplicationRequest& request) const {
   require(!request.existing.empty(), "replication: no source workers");
+  static auto& plans_total = obs::MetricsRegistry::instance().counter(
+      "elan_replication_plans_total", "Replication plans computed");
+  plans_total.add(1);
+  ELAN_TRACE_SCOPE("replication", "plan");
 
   ReplicationPlan plan;
   if (request.joining.empty()) return plan;
+  ELAN_TRACE_COUNTER("replication", "joining_workers",
+                     static_cast<double>(request.joining.size()));
 
   // --- Source selection -----------------------------------------------------
   //

@@ -4,6 +4,8 @@
 
 #include "comm/group.h"
 #include "common/thread_pool.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace elan::minidl {
 
@@ -51,6 +53,10 @@ const Mlp& DataParallelTrainer::replica(int id) const {
 
 float DataParallelTrainer::step(int total_batch) {
   require(total_batch > 0, "step: non-positive batch");
+  static auto& steps_total = obs::MetricsRegistry::instance().counter(
+      "elan_trainer_steps_total", "Data-parallel trainer steps executed");
+  steps_total.add(1);
+  ELAN_TRACE_SCOPE("trainer", "step");
   const int n = num_replicas();
   const int per_replica = (total_batch + n - 1) / n;
 
@@ -81,16 +87,20 @@ float DataParallelTrainer::step(int total_batch) {
   std::vector<std::vector<double>> grads(static_cast<std::size_t>(n));
   const bool concurrent = kernel_mode() == KernelMode::kTiled;
   auto replica_pass = [&](std::int64_t b, std::int64_t e) {
+    ELAN_TRACE_SCOPE("trainer", "replica_pass");
     for (std::int64_t i = b; i < e; ++i) {
       const auto u = static_cast<std::size_t>(i);
       losses[u] = models[u]->loss(shards[u].features, shards[u].labels, true);
       grads[u] = models[u]->flatten_gradients();
     }
   };
-  if (concurrent) {
-    ThreadPool::global().parallel_for(0, n, 1, replica_pass);
-  } else {
-    replica_pass(0, n);
+  {
+    ELAN_TRACE_SCOPE("trainer", "forward_backward");
+    if (concurrent) {
+      ThreadPool::global().parallel_for(0, n, 1, replica_pass);
+    } else {
+      replica_pass(0, n);
+    }
   }
   float loss_sum = 0.0f;
   for (float l : losses) loss_sum += l;
@@ -110,10 +120,13 @@ float DataParallelTrainer::step(int total_batch) {
       models[u]->sgd_step(config_.lr, config_.momentum);
     }
   };
-  if (concurrent) {
-    ThreadPool::global().parallel_for(0, n, 1, replica_update);
-  } else {
-    replica_update(0, n);
+  {
+    ELAN_TRACE_SCOPE("trainer", "apply_update");
+    if (concurrent) {
+      ThreadPool::global().parallel_for(0, n, 1, replica_update);
+    } else {
+      replica_update(0, n);
+    }
   }
   ++iteration_;
   return loss_sum / static_cast<float>(n);

@@ -1,0 +1,143 @@
+// Metrics registry: named counters, gauges and fixed-bucket histograms with
+// cheap concurrent accumulation and a Prometheus-style text exposition.
+//
+// Unlike the tracer (off by default, spans), metrics are always on: an
+// increment is one relaxed atomic add on a striped slot, cheap enough to
+// leave in hot paths unconditionally. bench_common wires the registry into
+// every bench binary — set ELAN_METRICS=<path> and a text-exposition sidecar
+// lands next to the bench's JSON output at process exit.
+//
+// Handles returned by the registry are stable for the process lifetime
+// (objects are never destroyed or moved once registered), so call sites
+// resolve a metric once into a static/local reference and hit only atomics
+// afterwards:
+//
+//   static auto& steps = obs::MetricsRegistry::instance()
+//                            .counter("elan_trainer_steps_total", "...");
+//   steps.add();
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/sync.h"
+
+namespace elan::obs {
+
+namespace detail {
+
+/// Cache-line-padded atomic slot; counters stripe over these by thread index
+/// so concurrent increments from the pool's workers do not bounce one line.
+struct alignas(64) PaddedU64 {
+  std::atomic<std::uint64_t> v{0};
+};
+
+constexpr std::size_t kCounterStripes = 8;  // power of two
+
+}  // namespace detail
+
+/// Monotonic counter.
+class Counter {
+ public:
+  void add(std::uint64_t n = 1) {
+    slots_[this_thread_index() & (detail::kCounterStripes - 1)].v.fetch_add(
+        n, std::memory_order_relaxed);
+  }
+  std::uint64_t value() const {
+    std::uint64_t sum = 0;
+    for (const auto& s : slots_) sum += s.v.load(std::memory_order_relaxed);
+    return sum;
+  }
+
+ private:
+  std::array<detail::PaddedU64, detail::kCounterStripes> slots_;
+};
+
+/// Last-write-wins gauge.
+class Gauge {
+ public:
+  void set(double v) { value_.store(v, std::memory_order_relaxed); }
+  double value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+/// Fixed-bucket histogram with Prometheus `le` (less-or-equal) semantics: an
+/// observation lands in the first bucket whose upper bound is >= the value;
+/// values above the last bound land in the implicit +Inf bucket. Bounds are
+/// fixed at registration — no resizing, so observe() is a search plus two
+/// relaxed atomic updates.
+class Histogram {
+ public:
+  explicit Histogram(std::vector<double> bounds);
+
+  void observe(double v);
+
+  struct Snapshot {
+    std::vector<double> bounds;          // upper bounds, ascending (no +Inf)
+    std::vector<std::uint64_t> counts;   // per-bucket, size bounds.size() + 1
+    std::uint64_t count = 0;             // total observations
+    double sum = 0;                      // sum of observed values
+  };
+  Snapshot snapshot() const;
+
+  const std::vector<double>& bounds() const { return bounds_; }
+
+ private:
+  std::vector<double> bounds_;
+  std::vector<std::unique_ptr<std::atomic<std::uint64_t>>> counts_;  // bounds + 1
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<double> sum_{0.0};
+};
+
+/// Process-wide registry. Lookup takes the registry mutex; call sites cache
+/// the returned reference (see the file comment) so the hot path never does.
+class MetricsRegistry {
+ public:
+  static MetricsRegistry& instance();
+
+  /// Registers (or returns the existing) metric of the given name. A name
+  /// re-registered as a different kind, or a histogram re-registered with
+  /// different bounds, throws InvalidArgument.
+  Counter& counter(const std::string& name, const std::string& help = "");
+  Gauge& gauge(const std::string& name, const std::string& help = "");
+  Histogram& histogram(const std::string& name, std::vector<double> bounds,
+                       const std::string& help = "");
+
+  /// Prometheus text exposition of every registered metric, registration
+  /// order, with # HELP / # TYPE headers.
+  std::string text_exposition() const;
+  /// Writes text_exposition() to `path`; throws InternalError on failure.
+  void write_text(const std::string& path) const;
+
+  /// Histogram upper bounds in seconds for latency-style metrics (1ms..100s,
+  /// roughly logarithmic).
+  static std::vector<double> latency_seconds_bounds();
+
+ private:
+  MetricsRegistry() = default;
+
+  enum class Kind { kCounter, kGauge, kHistogram };
+  struct Entry {
+    std::string name;
+    std::string help;
+    Kind kind;
+    std::unique_ptr<Counter> counter;
+    std::unique_ptr<Gauge> gauge;
+    std::unique_ptr<Histogram> histogram;
+  };
+
+  Entry& find_or_create(const std::string& name, const std::string& help, Kind kind)
+      ELAN_REQUIRES(mu_);
+
+  mutable Mutex mu_{"metrics_registry"};
+  // deque-like stability: entries are pointers, never reallocated.
+  std::vector<std::unique_ptr<Entry>> entries_ ELAN_GUARDED_BY(mu_);
+};
+
+}  // namespace elan::obs

@@ -1,0 +1,73 @@
+#include "obs/obs.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/log.h"
+#include "obs/metrics.h"
+
+namespace elan::obs {
+
+namespace {
+
+// Written once by init_from_env before the atexit registration; read by the
+// exit hook. No locking needed for that ordering, but keep it simple.
+std::string& trace_path() {
+  static std::string path;
+  return path;
+}
+
+std::string& metrics_path() {
+  static std::string path;
+  return path;
+}
+
+void dump_observability() {
+  if (!trace_path().empty()) {
+    try {
+      Tracer::instance().write_json(trace_path());
+      std::fprintf(stderr, "[obs] wrote trace %s\n", trace_path().c_str());
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "[obs] trace dump failed: %s\n", e.what());
+    }
+    trace_path().clear();
+  }
+  if (!metrics_path().empty()) {
+    try {
+      MetricsRegistry::instance().write_text(metrics_path());
+      std::fprintf(stderr, "[obs] wrote metrics %s\n", metrics_path().c_str());
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "[obs] metrics dump failed: %s\n", e.what());
+    }
+    metrics_path().clear();
+  }
+}
+
+}  // namespace
+
+void init_from_env() {
+  static bool initialized = false;
+  if (initialized) return;
+  initialized = true;
+
+  Logger::init_from_env();
+
+  bool want_dump = false;
+  if (const char* trace = std::getenv("ELAN_TRACE"); trace != nullptr && *trace != '\0') {
+    trace_path() = trace;
+    Tracer::instance().set_enabled(true);
+    want_dump = true;
+  }
+  if (const char* metrics = std::getenv("ELAN_METRICS");
+      metrics != nullptr && *metrics != '\0') {
+    metrics_path() = metrics;
+    want_dump = true;
+  }
+  if (want_dump) std::atexit(dump_observability);
+}
+
+bool trace_requested() { return !trace_path().empty(); }
+
+void dump_now() { dump_observability(); }
+
+}  // namespace elan::obs

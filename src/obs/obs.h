@@ -1,0 +1,48 @@
+// Observability bootstrap shared by benches and tools.
+//
+//   obs::init_from_env() — one call near the top of main (bench binaries get
+//   it for free through bench::print_header):
+//     ELAN_LOG=trace|debug|info|warn|error  sets the global logger level;
+//     ELAN_TRACE=<path>   enables the tracer and writes a Chrome trace-event
+//                         JSON to <path> at process exit;
+//     ELAN_METRICS=<path> writes the Prometheus-style metrics snapshot to
+//                         <path> at process exit.
+//
+//   obs::ScopedSimClock — switches the tracer onto a simulator's virtual
+//   clock for the scope of a sim run, so spans recorded through the normal
+//   macros carry virtual timestamps comparable to the explicitly-timestamped
+//   spans the job runtime emits (paper Figs 10-11 timelines).
+#pragma once
+
+#include <string>
+
+#include "obs/trace.h"
+#include "sim/simulator.h"
+
+namespace elan::obs {
+
+/// Applies ELAN_LOG / ELAN_TRACE / ELAN_METRICS (see the file comment).
+/// Idempotent; the exit dump registers only once.
+void init_from_env();
+
+/// True when init_from_env enabled tracing (ELAN_TRACE was set).
+bool trace_requested();
+
+/// Flushes the pending exit dumps immediately (also runs atexit; tools call
+/// this to write files before printing a "wrote ..." line).
+void dump_now();
+
+/// Tracer timestamps come from `sim.now()` while this object lives; the
+/// real-time clock is restored on destruction.
+class ScopedSimClock {
+ public:
+  explicit ScopedSimClock(sim::Simulator& sim) {
+    Tracer::instance().set_clock([&sim] { return sim.now() * 1e6; });
+  }
+  ~ScopedSimClock() { Tracer::instance().set_clock(nullptr); }
+
+  ScopedSimClock(const ScopedSimClock&) = delete;
+  ScopedSimClock& operator=(const ScopedSimClock&) = delete;
+};
+
+}  // namespace elan::obs

@@ -1,0 +1,206 @@
+// Structured tracing: thread-safe, low-overhead span recorder.
+//
+// The tracer answers the question the coarse bench totals cannot: *where does
+// the time inside an adjustment go?* Instrumentation sites emit spans
+// (complete events), instants and counters; the exporter writes Chrome
+// trace-event JSON, loadable in Perfetto / chrome://tracing, and
+// tools/elan_trace_report renders per-category summaries from the same file.
+//
+// Design constraints, in priority order:
+//
+//   1. *Near-zero cost when disabled.* Every macro and recording entry point
+//      starts with one relaxed atomic load; nothing else runs. Instrumented
+//      hot loops (trainer step, allreduce, kernel dispatch) must show no
+//      measurable regression with tracing off (checked against
+//      BENCH_kernels.json).
+//   2. *Thread safety without hot-path contention.* Events append to a
+//      per-thread buffer guarded by that buffer's own elan::Mutex (PR 2
+//      discipline: every mutex is an annotated elan::Mutex). The per-thread
+//      mutex is uncontended except during a flush, so an append is a
+//      lock/push_back/unlock. flush() drains all buffers under the registry
+//      mutex, taking each buffer mutex one at a time (lock order:
+//      trace_registry -> trace_buffer; appends take only trace_buffer).
+//   3. *Two clock domains.* By default timestamps come from a monotonic
+//      real-time clock (microseconds since process start). set_clock()
+//      installs a virtual clock — e.g. the discrete-event simulator's now()
+//      — so sim runs produce virtual-time timelines comparable to the
+//      paper's Figs 10-11. Instrumentation that already knows its virtual
+//      interval (replication transfer plans, allreduce steps) bypasses the
+//      clock entirely and records explicit timestamps via complete().
+//
+// Event model (Chrome trace-event format):
+//   'X' complete  — a span: ts + dur. ELAN_TRACE_SCOPE or explicit complete().
+//   'i' instant   — a point event.
+//   'C' counter   — a named value sampled over time.
+// Events carry a pid (logical process lane, set_pid(); benches use it to put
+// e.g. the S&R and Elan runs side by side) and a tid (real thread index by
+// default, overridable so virtual spans can occupy per-worker/per-link lanes).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/sync.h"
+
+namespace elan::obs {
+
+struct TraceEvent {
+  char phase = 'X';          // 'X' complete, 'i' instant, 'C' counter
+  const char* category = ""; // static string at every call site
+  std::string name;
+  double ts_us = 0;          // event start, microseconds in the active clock
+  double dur_us = 0;         // 'X' only
+  int pid = 1;
+  std::uint64_t tid = 0;
+  double value = 0;          // 'C' only
+  std::string args;          // pre-rendered JSON object ("{...}") or empty
+};
+
+class Tracer {
+ public:
+  static Tracer& instance();
+
+  /// The disabled fast path: one relaxed atomic load.
+  static bool enabled() { return enabled_.load(std::memory_order_relaxed); }
+  void set_enabled(bool on) { enabled_.store(on, std::memory_order_relaxed); }
+
+  /// Virtual clock returning microseconds. Installing one switches every
+  /// subsequently recorded event to that domain; pass nullptr to restore the
+  /// real-time clock. See ScopedSimClock (obs/obs.h) for the RAII form.
+  using Clock = std::function<double()>;
+  void set_clock(Clock clock);
+  bool has_custom_clock() const { return custom_clock_.load(std::memory_order_acquire); }
+
+  /// Microseconds in the active clock domain (real: since process start).
+  double now_us();
+
+  /// Logical process lane stamped on subsequent events (default 1); `name`
+  /// becomes the Perfetto process label via a metadata event.
+  void set_pid(int pid, const std::string& name = "");
+
+  /// Sentinel for `tid`: use the recording thread's dense index.
+  static constexpr std::uint64_t kCurrentThread = ~0ull;
+
+  // --- Recording (each is a no-op when disabled) ---------------------------
+
+  /// A span [ts_us, ts_us + dur_us). Explicit timestamps make this the
+  /// workhorse for virtual-time instrumentation (replication transfers,
+  /// allreduce steps, adjustment phases); ELAN_TRACE_SCOPE uses it with
+  /// clock-derived timestamps. `args` must be a rendered JSON object or "".
+  void complete(const char* category, std::string name, double ts_us, double dur_us,
+                std::string args = {}, std::uint64_t tid = kCurrentThread);
+
+  void instant(const char* category, std::string name, std::string args = {});
+  /// Instant at an explicit timestamp.
+  void instant_at(const char* category, std::string name, double ts_us,
+                  std::string args = {}, std::uint64_t tid = kCurrentThread);
+
+  void counter(const char* category, std::string name, double value);
+
+  // --- Export ---------------------------------------------------------------
+
+  /// Drains every per-thread buffer into the collected list.
+  void flush();
+  /// flush() + copy of everything recorded since the last clear().
+  std::vector<TraceEvent> snapshot();
+  /// Chrome trace-event JSON ({"traceEvents": [...]}).
+  std::string to_json();
+  /// Writes to_json() to `path`; throws InternalError on failure.
+  void write_json(const std::string& path);
+  /// Drops all recorded events (buffers and collected list).
+  void clear();
+
+ private:
+  Tracer() = default;
+
+  struct ThreadBuffer {
+    Mutex mu{"trace_buffer"};
+    std::vector<TraceEvent> events ELAN_GUARDED_BY(mu);
+  };
+
+  ThreadBuffer& buffer_for_this_thread();
+  void record(TraceEvent event);
+
+  static std::atomic<bool> enabled_;
+
+  std::atomic<int> pid_{1};
+  std::atomic<bool> custom_clock_{false};
+
+  mutable Mutex clock_mu_{"trace_clock"};
+  Clock clock_ ELAN_GUARDED_BY(clock_mu_);
+
+  mutable Mutex registry_mu_{"trace_registry"};
+  std::vector<std::shared_ptr<ThreadBuffer>> buffers_ ELAN_GUARDED_BY(registry_mu_);
+  std::vector<TraceEvent> collected_ ELAN_GUARDED_BY(registry_mu_);
+  std::vector<std::pair<int, std::string>> process_names_ ELAN_GUARDED_BY(registry_mu_);
+};
+
+/// RAII span: records a complete event covering its lifetime. When tracing is
+/// disabled the constructor is one atomic load and the destructor one branch.
+class TraceScope {
+ public:
+  TraceScope(const char* category, const char* name) {
+    if (!Tracer::enabled()) return;
+    active_ = true;
+    category_ = category;
+    name_ = name;
+    start_us_ = Tracer::instance().now_us();
+  }
+
+  ~TraceScope() {
+    if (!active_) return;
+    auto& tracer = Tracer::instance();
+    tracer.complete(category_, name_, start_us_, tracer.now_us() - start_us_,
+                    args_.empty() ? std::string() : "{" + args_ + "}");
+  }
+
+  TraceScope(const TraceScope&) = delete;
+  TraceScope& operator=(const TraceScope&) = delete;
+
+  /// Attaches a key/value to the span (no-ops when the span is inactive).
+  void arg(const char* key, const std::string& value);
+  void arg(const char* key, const char* value);
+  void arg(const char* key, double value);
+  void arg(const char* key, std::int64_t value);
+
+ private:
+  void append_raw(const char* key, std::string rendered);
+
+  bool active_ = false;
+  const char* category_ = "";
+  const char* name_ = "";
+  double start_us_ = 0;
+  std::string args_;  // comma-joined "key":value pairs, braces added at emit
+};
+
+/// JSON string escaping for event names / arg values.
+std::string json_escape(const std::string& s);
+
+}  // namespace elan::obs
+
+// ELAN_TRACE_SCOPE(category, name): a span covering the rest of the enclosing
+// scope. `category` and `name` must be string literals (or otherwise outlive
+// the program); multiple scopes per block are fine (__COUNTER__-unique names).
+#define ELAN_OBS_CONCAT_(a, b) a##b
+#define ELAN_OBS_CONCAT(a, b) ELAN_OBS_CONCAT_(a, b)
+#define ELAN_TRACE_SCOPE(category, name) \
+  ::elan::obs::TraceScope ELAN_OBS_CONCAT(elan_trace_scope_, __COUNTER__)(category, name)
+
+/// Point event at the current clock time.
+#define ELAN_TRACE_EVENT(category, name)                                 \
+  do {                                                                   \
+    if (::elan::obs::Tracer::enabled())                                  \
+      ::elan::obs::Tracer::instance().instant(category, name);           \
+  } while (0)
+
+/// Counter sample at the current clock time.
+#define ELAN_TRACE_COUNTER(category, name, value)                        \
+  do {                                                                   \
+    if (::elan::obs::Tracer::enabled())                                  \
+      ::elan::obs::Tracer::instance().counter(category, name,            \
+                                              static_cast<double>(value)); \
+  } while (0)

@@ -1,0 +1,53 @@
+// Trace-file analysis: ingest a Chrome trace-event JSON (as written by
+// obs::Tracer, but any conforming producer works) and reduce it to a
+// per-category / per-span-name summary table — count, total, p50/p99, max,
+// and each row's share of the adjustment critical path. This is the library
+// behind tools/elan_trace_report; tests and benches call it directly.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace elan::obs {
+
+struct TraceSummaryRow {
+  std::string category;
+  std::string name;
+  std::uint64_t count = 0;
+  double total_ms = 0;
+  double p50_ms = 0;
+  double p99_ms = 0;
+  double max_ms = 0;
+  /// total_ms / (summed duration of "adjustment/adjustment" spans), or -1
+  /// when the trace contains no adjustment span. > 1 means the row's spans
+  /// overlap each other (e.g. concurrent replication transfers).
+  double adjustment_share = -1;
+};
+
+struct TraceSummary {
+  /// [min ts, max ts+dur] over all span events, in ms.
+  double wall_ms = 0;
+  /// Summed duration of spans named "adjustment" in category "adjustment"
+  /// (the whole-adjustment spans ElasticJob emits); 0 when absent.
+  double adjustment_ms = 0;
+  std::uint64_t spans = 0;
+  std::uint64_t instants = 0;
+  std::uint64_t counter_samples = 0;
+  /// Rows sorted by total_ms descending.
+  std::vector<TraceSummaryRow> rows;
+};
+
+/// Parses the JSON text and summarises all 'X' (complete) events, grouped by
+/// (category, name). Throws InvalidArgument on malformed JSON or on input
+/// lacking a traceEvents array.
+TraceSummary summarize_trace_json(const std::string& json_text);
+
+/// Reads `path` and summarises it. Throws on IO or parse failure.
+TraceSummary summarize_trace_file(const std::string& path);
+
+/// ASCII rendering of the summary (the elan_trace_report output).
+std::string render_trace_summary(const TraceSummary& summary,
+                                 const std::string& category_filter = "");
+
+}  // namespace elan::obs

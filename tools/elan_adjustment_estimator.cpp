@@ -35,6 +35,7 @@ int main(int argc, char** argv) {
   flags.define("nodes", "8", "cluster nodes (8 GPUs each)");
   flags.define("show-topology", "false", "print the link matrix of one node");
   flags.define("show-plan", "true", "print Elan's replication plan");
+  define_log_level_flag(flags);
 
   try {
     flags.parse(argc, argv);
@@ -42,6 +43,7 @@ int main(int argc, char** argv) {
       std::fputs(flags.usage("elan_adjustment_estimator").c_str(), stdout);
       return 0;
     }
+    apply_log_level_flag(flags);
 
     const auto model = train::model_by_name(flags.get("model"));
     const auto type = parse_type(flags.get("type"));

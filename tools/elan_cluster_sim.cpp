@@ -47,6 +47,7 @@ int main(int argc, char** argv) {
   flags.define("trace-in", "", "read the trace from this CSV instead of generating");
   flags.define("trace-out", "", "write the (generated) trace to this CSV");
   flags.define("utilization-out", "", "write the utilisation timeline to this CSV");
+  define_log_level_flag(flags);
 
   try {
     flags.parse(argc, argv);
@@ -54,6 +55,7 @@ int main(int argc, char** argv) {
       std::fputs(flags.usage("elan_cluster_sim").c_str(), stdout);
       return 0;
     }
+    apply_log_level_flag(flags);
 
     const int gpus = static_cast<int>(flags.get_int("gpus"));
     require(gpus > 0 && gpus % 8 == 0, "--gpus must be a positive multiple of 8");

@@ -13,6 +13,7 @@
 #include "baselines/litz.h"
 #include "common/log.h"
 #include "common/table.h"
+#include "obs/obs.h"
 #include "elan/job.h"
 #include "experiments/adabatch.h"
 #include "sched/cluster.h"
@@ -47,7 +48,10 @@ std::string fmt(const char* f, double a, double b = 0, double c = 0) {
 
 int main() {
   using namespace elan;
+  // Quiet by default; ELAN_LOG (and ELAN_TRACE/ELAN_METRICS sidecars) still
+  // win because init_from_env applies after the default.
   Logger::set_level(LogLevel::kError);
+  obs::init_from_env();
 
   topo::Topology topology{topo::TopologySpec{}};
   topo::BandwidthModel bandwidth;

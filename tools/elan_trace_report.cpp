@@ -1,0 +1,38 @@
+// elan_trace_report — summarise a Chrome trace-event JSON written by the
+// obs::Tracer (ELAN_TRACE=... on any bench or tool).
+//
+//   elan_trace_report fig10_trace.json
+//   elan_trace_report fig10_trace.json --category replication
+//
+// Prints a per-category / per-span table (count, total, p50/p99, max) and —
+// when the trace contains whole-adjustment spans — each row's share of the
+// adjustment critical path. A share above 100% means the row's spans overlap
+// (concurrent replication transfers, fan-out coordination rounds).
+#include <cstdio>
+
+#include "common/flags.h"
+#include "obs/trace_report.h"
+
+int main(int argc, char** argv) {
+  using namespace elan;
+  Flags flags;
+  flags.define("category", "", "only show rows from this trace category");
+  define_log_level_flag(flags);
+
+  try {
+    const auto positional = flags.parse(argc, argv);
+    if (flags.help_requested() || positional.size() != 1) {
+      std::fputs("usage: elan_trace_report <trace.json> [flags]\n", stdout);
+      std::fputs(flags.usage("elan_trace_report").c_str(), stdout);
+      return flags.help_requested() ? 0 : 1;
+    }
+    apply_log_level_flag(flags);
+
+    const auto summary = obs::summarize_trace_file(positional.front());
+    std::fputs(obs::render_trace_summary(summary, flags.get("category")).c_str(), stdout);
+    return 0;
+  } catch (const Error& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+}
