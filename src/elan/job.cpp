@@ -69,7 +69,9 @@ ElasticJob::ElasticJob(sim::Simulator& simulator, const topo::Topology& topology
   for (int i = 0; i < config_.initial_workers; ++i) {
     initial.push_back({i, config_.initial_gpus[static_cast<std::size_t>(i)]});
   }
-  master_ = std::make_unique<ApplicationMaster>(bus_, kv_, config_.job_id, initial);
+  master_ = std::make_unique<ApplicationMaster>(bus_, kv_, config_.job_id, initial,
+                                                config_.am);
+  attach_master_listener();
   sched_endpoint_ = std::make_unique<transport::ReliableEndpoint>(
       bus_, "sched/" + config_.job_id, [this](const transport::Message& msg) {
         if (msg.type == "adjust_reply") {
@@ -261,13 +263,62 @@ void ElasticJob::fail_worker(int worker) {
   }
 }
 
+bool ElasticJob::fault_kill_worker(int worker) {
+  auto it = workers_.find(worker);
+  if (it != workers_.end()) {
+    if (it->second->state() == WorkerState::kStopped) return false;  // already dead
+    // Never orphan the job: at least one live replica must survive to source
+    // state from. Workers already promised to leave in the AM's pending plan
+    // do not count as survivors — the plan will remove them regardless.
+    std::set<int> leaving;
+    if (!master_->idle()) {
+      for (int v : master_->plan().leave) leaving.insert(v);
+    }
+    int survivors = 0;
+    for (const auto& [id, w] : workers_) {
+      if (id != worker && w->state() != WorkerState::kStopped && leaving.count(id) == 0) {
+        ++survivors;
+      }
+    }
+    if (survivors == 0) return false;
+    fail_worker(worker);
+    return true;
+  }
+  auto jt = joining_.find(worker);
+  if (jt == joining_.end() || jt->second->state() == WorkerState::kStopped) return false;
+  // A joining worker is not in the communication group yet; killing it only
+  // strands its join — report-timeout eviction or the failed-join tolerance
+  // in finish_adjustment reaps it.
+  jt->second->shutdown();
+  return true;
+}
+
+void ElasticJob::reconcile_joining() {
+  if (joining_.empty()) return;
+  // Live entries are orphans only once no adjustment can still admit them:
+  // the AM is back in Steady (e.g. it aborted a plan whose joins all timed
+  // out) and no service request is in flight.
+  const bool orphaned = master_->idle() && requests_in_flight_ == 0;
+  for (auto it = joining_.begin(); it != joining_.end();) {
+    const bool dead = it->second->state() == WorkerState::kStopped;
+    if (!dead && !orphaned) {
+      ++it;
+      continue;
+    }
+    log_warn() << config_.job_id << ": reaping " << (dead ? "dead" : "orphaned")
+               << " joining worker " << it->first;
+    if (!dead) it->second->shutdown();
+    free_worker_memory(it->first);
+    it = joining_.erase(it);
+  }
+}
+
 void ElasticJob::process_pending_failures() {
   if (pending_failures_.empty()) return;
   int removed = 0;
   for (int victim : pending_failures_) {
     auto it = workers_.find(victim);
     if (it == workers_.end()) continue;  // already left via an adjustment
-    ELAN_CHECK(workers_.size() > 1, "fail_worker: last worker died");
     workers_.erase(it);
     slowdown_.erase(victim);
     free_worker_memory(victim);
@@ -278,6 +329,17 @@ void ElasticJob::process_pending_failures() {
                << " fail-stopped; continuing with " << workers_.size() << " replicas";
   }
   pending_failures_.clear();
+  if (workers_.empty()) {
+    // Every replica is gone (a failure raced an adjustment that removed the
+    // rest): the job cannot continue, but the *process* must not die — stop
+    // cleanly and let the owner decide (a real deployment would restart from
+    // a checkpoint).
+    fatal_failure_ = true;
+    running_ = false;
+    log_error() << config_.job_id << ": all replicas lost; stopping";
+    if (on_stopped) on_stopped();
+    return;
+  }
   if (removed == 0) {
     // All "failures" had already left through an adjustment; just continue.
     sim_.schedule(0.0, [this] { begin_iteration(); });
@@ -312,6 +374,7 @@ void ElasticJob::begin_iteration() {
 }
 
 void ElasticJob::coordinate_round() {
+  reconcile_joining();
   decisions_outstanding_ = static_cast<int>(workers_.size());
   adjust_signalled_ = false;
   const Seconds round_started = sim_.now();
@@ -424,6 +487,9 @@ void ElasticJob::train_step() {
 void ElasticJob::finish_train_step() {
   const auto data = consume_iteration_data();
   samples_processed_ += data.consumed;
+  // Epoch must be read *after* the consume: on turnover the ranges belong to
+  // the new epoch the sampler just began.
+  if (on_data_consumed) on_data_consumed(epoch(), data.shards);
   const double lr = lr_controller_.lr(iteration_);
 
   // Local forward/backward on every replica's shard.
@@ -459,17 +525,57 @@ void ElasticJob::crash_master() { master_->crash(); }
 
 void ElasticJob::recover_master() {
   master_.reset();  // release the endpoint name before re-attaching
-  master_ = ApplicationMaster::recover(bus_, kv_, config_.job_id);
+  master_ = ApplicationMaster::recover(bus_, kv_, config_.job_id, config_.am);
+  attach_master_listener();
+}
+
+void ElasticJob::attach_master_listener() {
+  master_->set_phase_listener([this](AmPhase from, AmPhase to) {
+    if (on_am_phase) on_am_phase(from, to);
+  });
 }
 
 void ElasticJob::send_adjust_request(AdjustRequestMsg msg) {
   last_request_time_ = sim_.now();
   msg.request_id = next_request_id_++;
   ++requests_in_flight_;
+  outstanding_requests_.insert(msg.request_id);
   sched_endpoint_->send(master_->name(), "adjust_request", msg.serialize());
+  arm_adjust_resend(std::move(msg));
+}
+
+void ElasticJob::arm_adjust_resend(AdjustRequestMsg msg) {
+  // The transport retries the *request* until acked, but an AM crash between
+  // ack and reply destroys the reply's retry state — without this timer the
+  // request would stay in flight forever. Re-sends reuse the request id, so
+  // the AM replays its cached verdict instead of re-executing.
+  const auto id = msg.request_id;
+  adjust_resend_timers_[id] = sim_.schedule(
+      config_.adjust_reply_timeout, [this, msg = std::move(msg)]() mutable {
+        adjust_resend_timers_.erase(msg.request_id);
+        if (!running_ || outstanding_requests_.count(msg.request_id) == 0) return;
+        log_debug() << config_.job_id << ": no reply for adjust request " << msg.request_id
+                    << " after " << config_.adjust_reply_timeout << "s; re-sending";
+        sched_endpoint_->send(master_->name(), "adjust_request", msg.serialize());
+        arm_adjust_resend(std::move(msg));
+      });
 }
 
 void ElasticJob::on_adjust_reply(const AdjustReplyMsg& reply) {
+  auto timer = adjust_resend_timers_.find(reply.request_id);
+  if (timer != adjust_resend_timers_.end()) {
+    sim_.cancel(timer->second);
+    adjust_resend_timers_.erase(timer);
+  }
+  if (outstanding_requests_.erase(reply.request_id) == 0) {
+    // Duplicate reply: the request was resent across an AM recovery (the
+    // recovered endpoint has no duplicate-suppression state) and processed
+    // twice — the second processing is rejected by the AM and must not
+    // disturb the in-flight accounting here.
+    log_debug() << config_.job_id << ": duplicate reply for request "
+                << reply.request_id << " ignored";
+    return;
+  }
   --requests_in_flight_;
   if (!reply.ok) {
     log_warn() << config_.job_id << ": adjustment request " << reply.request_id
@@ -480,6 +586,7 @@ void ElasticJob::on_adjust_reply(const AdjustReplyMsg& reply) {
   for (const auto& [id, gpu] : reply.launch) {
     allocate_worker_memory(id, gpu);
     auto w = make_worker(id, gpu, /*running=*/false);
+    if (on_worker_launched) on_worker_launched(*w);
     w->launch();
     joining_.emplace(id, std::move(w));
   }
@@ -509,6 +616,29 @@ void ElasticJob::request_migration(const std::vector<int>& victims,
 }
 
 void ElasticJob::perform_adjustment(const AdjustmentPlan& plan) {
+  // A failure between plan admission and execution can shrink the cluster so
+  // that the plan's leave set now retires every remaining replica (e.g. a
+  // kill racing an in-flight scale-in). Executing it would train with zero
+  // workers; honour the retirement and stop cleanly instead.
+  const int workers_after = num_workers() + static_cast<int>(plan.join.size()) -
+                            static_cast<int>(plan.leave.size());
+  if (workers_after <= 0) {
+    log_error() << config_.job_id << ": adjustment v" << plan.version
+                << " would leave no replicas (concurrent failures); retiring the job";
+    master_->on_adjustment_complete({});
+    for (int v : plan.leave) {
+      auto it = workers_.find(v);
+      if (it == workers_.end()) continue;
+      it->second->shutdown();
+      free_worker_memory(it->first);
+      workers_.erase(it);
+    }
+    fatal_failure_ = true;
+    running_ = false;
+    if (on_stopped) on_stopped();
+    return;
+  }
+
   AdjustmentRecord record;
   record.type = plan.type;
   record.plan_version = plan.version;
@@ -531,6 +661,7 @@ void ElasticJob::execute_elan_adjustment(AdjustmentRecord record, const Adjustme
 
   // Step 4 (Fig 2): concurrent IO-free state replication.
   Seconds replication_time = 0;
+  std::map<int, int> sources;  // destination -> source, for mid-transfer re-planning
   if (!plan.join.empty()) {
     ReplicationRequest request;
     for (const auto& [id, w] : workers_) request.existing.emplace(id, w->gpu());
@@ -558,16 +689,24 @@ void ElasticJob::execute_elan_adjustment(AdjustmentRecord record, const Adjustme
       }
     }
 
-    // Move the actual bytes along the planned source->destination pairs.
+    // Move the actual bytes along the planned source->destination pairs. A
+    // destination that already died mid-launch is skipped here and handled
+    // as a failed join when the adjustment completes.
     for (const auto& t : rep_plan.transfers) {
       auto src = workers_.find(t.source_worker);
       ELAN_CHECK(src != workers_.end(), "replication source vanished");
       auto dst = joining_.find(t.dest_worker);
-      ELAN_CHECK(dst != joining_.end(), "replication destination not launched");
+      if (dst == joining_.end() || dst->second->state() == WorkerState::kStopped) {
+        log_warn() << config_.job_id << ": replication destination " << t.dest_worker
+                   << " died before the transfer; skipping";
+        continue;
+      }
       dst->second->hooks().load_all(src->second->hooks().save_all());
+      sources[t.dest_worker] = t.source_worker;
     }
   }
   record.breakdown.replication = replication_time;
+  if (on_adjustment_started) on_adjustment_started(plan.type, replication_time);
 
   // Step 5: state adjustment — communication-group reconstruction; data
   // repartition is free under serial semantics (the cursor is global) but
@@ -577,8 +716,74 @@ void ElasticJob::execute_elan_adjustment(AdjustmentRecord record, const Adjustme
   record.breakdown.reconstruct = reconstruct;
   record.breakdown.repartition = repartition_cost();
 
-  sim_.schedule(replication_time + reconstruct + record.breakdown.repartition,
-                [this, record = std::move(record), plan, decision]() mutable {
+  sim_.schedule(replication_time, [this, record = std::move(record), plan, decision,
+                                   sources = std::move(sources)]() mutable {
+    complete_elan_replication(std::move(record), std::move(plan), decision,
+                              std::move(sources));
+  });
+}
+
+void ElasticJob::complete_elan_replication(AdjustmentRecord record, AdjustmentPlan plan,
+                                           ScalingDecision decision,
+                                           std::map<int, int> sources) {
+  // A source that fail-stopped inside the transfer window truncated its
+  // streams: every live destination it was feeding must redo the copy from a
+  // surviving replica (all replicas are bit-identical, so any survivor is a
+  // valid source).
+  std::vector<int> redo;
+  for (const auto& [dest, source] : sources) {
+    auto dst = joining_.find(dest);
+    if (dst == joining_.end() || dst->second->state() == WorkerState::kStopped) {
+      continue;  // the destination itself died — a failed join, nothing to redo
+    }
+    auto src = workers_.find(source);
+    if (src == workers_.end() || src->second->state() == WorkerState::kStopped) {
+      redo.push_back(dest);
+    }
+  }
+
+  if (!redo.empty()) {
+    ReplicationRequest request;
+    for (const auto& [id, w] : workers_) {
+      if (w->state() != WorkerState::kStopped) request.existing.emplace(id, w->gpu());
+    }
+    ELAN_CHECK(!request.existing.empty(), "replication re-plan: no surviving replica");
+    std::map<int, int> redo_sources;
+    for (int dest : redo) request.joining.emplace(dest, joining_.at(dest)->gpu());
+    const auto& survivor = *workers_.at(request.existing.begin()->first);
+    request.gpu_state_bytes = survivor.gpu_state_bytes();
+    request.cpu_state_bytes = survivor.cpu_state_bytes();
+    const auto redo_plan = planner_.plan(request);
+    for (const auto& t : redo_plan.transfers) {
+      auto src = workers_.find(t.source_worker);
+      ELAN_CHECK(src != workers_.end(), "replication re-plan source vanished");
+      auto dst = joining_.find(t.dest_worker);
+      if (dst == joining_.end() || dst->second->state() == WorkerState::kStopped) continue;
+      dst->second->hooks().load_all(src->second->hooks().save_all());
+      redo_sources[t.dest_worker] = t.source_worker;
+    }
+    record.breakdown.replication += redo_plan.total_time;
+    log_warn() << config_.job_id << ": replication source died mid-transfer; re-copying "
+               << redo.size() << " destination(s) (+" << redo_plan.total_time << "s)";
+    if (obs::Tracer::enabled()) {
+      obs::Tracer::instance().instant(
+          "fault", "replication_replanned",
+          "{\"destinations\":" + std::to_string(redo.size()) +
+              ",\"extra_seconds\":" + std::to_string(redo_plan.total_time) + "}");
+    }
+    // The redo round has its own window and can itself lose a source.
+    sim_.schedule(redo_plan.total_time,
+                  [this, record = std::move(record), plan = std::move(plan), decision,
+                   redo_sources = std::move(redo_sources)]() mutable {
+      complete_elan_replication(std::move(record), std::move(plan), decision,
+                                std::move(redo_sources));
+    });
+    return;
+  }
+
+  sim_.schedule(record.breakdown.reconstruct + record.breakdown.repartition,
+                [this, record = std::move(record), plan = std::move(plan),
+                 decision]() mutable {
     finish_adjustment(std::move(record), plan, decision.batch_factor, decision.total_batch);
   });
 }
@@ -587,6 +792,7 @@ void ElasticJob::execute_snr_adjustment(AdjustmentRecord record, const Adjustmen
   const int workers_after = num_workers() + static_cast<int>(plan.join.size()) -
                             static_cast<int>(plan.leave.size());
   const auto decision = hybrid_.decide(num_workers(), total_batch_, workers_after);
+  if (on_adjustment_started) on_adjustment_started(plan.type, 0.0);
   auto& any_worker = *workers_.begin()->second;
   const Bytes gpu_bytes = any_worker.gpu_state_bytes();
 
@@ -655,14 +861,37 @@ void ElasticJob::finish_adjustment(AdjustmentRecord record, const AdjustmentPlan
     slowdown_.erase(victim);
     free_worker_memory(victim);
   }
-  // Admit joining workers.
+  // Admit joining workers. A join can fail underway — the process died
+  // mid-launch or mid-replication — and must be dropped, not admitted: the
+  // adjustment completes with the survivors and the AM is told which joins
+  // never materialised.
+  std::vector<int> failed_joins;
   for (const auto& [id, gpu] : plan.join) {
     auto it = joining_.find(id);
-    ELAN_CHECK(it != joining_.end(), "joining worker missing");
-    ELAN_CHECK(it->second->state() == WorkerState::kReady, "joining worker not ready");
+    if (it == joining_.end()) {
+      failed_joins.push_back(id);
+      continue;
+    }
+    if (it->second->state() != WorkerState::kReady) {
+      log_warn() << config_.job_id << ": joining worker " << id << " is "
+                 << to_string(it->second->state()) << " at admission; dropping it";
+      it->second->shutdown();
+      joining_.erase(it);
+      free_worker_memory(id);
+      failed_joins.push_back(id);
+      continue;
+    }
     it->second->set_training();
     workers_.emplace(id, std::move(it->second));
     joining_.erase(it);
+  }
+  // Anything still in joining_ was evicted from the plan before completion
+  // (report-timeout at the AM): it never became part of the group.
+  for (auto it = joining_.begin(); it != joining_.end();) {
+    log_warn() << config_.job_id << ": discarding evicted joining worker " << it->first;
+    it->second->shutdown();
+    free_worker_memory(it->first);
+    it = joining_.erase(it);
   }
 
   // Data repartition (step 5): free for the serial cursor; the chunk record
@@ -719,7 +948,7 @@ void ElasticJob::finish_adjustment(AdjustmentRecord record, const AdjustmentPlan
   adjustments_total.add(1);
   pause_hist.observe(record.pause_time());
 
-  master_->on_adjustment_complete();
+  master_->on_adjustment_complete(failed_joins);
   log_info() << config_.job_id << ": " << to_string(record.type) << " "
              << record.workers_before << "->" << record.workers_after << " in "
              << record.pause_time() << "s (mechanism " << to_string(config_.mechanism)

@@ -17,6 +17,7 @@
 #include <functional>
 #include <map>
 #include <memory>
+#include <set>
 #include <string>
 #include <vector>
 
@@ -77,6 +78,12 @@ struct JobConfig {
   double compute_jitter_cv = 0.0;
   WorkerParams worker_params;
   comm::GroupParams group_params;
+  /// Application-master fault-tolerance knobs (report-timeout eviction).
+  AmParams am;
+  /// How long the scheduler-facing side waits for an adjust reply before
+  /// re-sending the request (same request id; the AM replays its cached
+  /// verdict for duplicates). Covers the reply being lost in an AM crash.
+  Seconds adjust_reply_timeout = 2.0;
   std::uint64_t seed = 1;
 };
 
@@ -218,10 +225,47 @@ class ElasticJob {
   void fail_worker(int worker);
   int worker_failures() const { return worker_failures_; }
 
+  /// True when every replica was lost (failures raced an adjustment that
+  /// removed the rest): the job stopped cleanly instead of continuing.
+  bool fatally_failed() const { return fatal_failure_; }
+
+  /// Chaos-safe kill: fail-stops an active worker (like fail_worker) or a
+  /// joining worker (killed mid-launch or mid-replication; the AM's report
+  /// timeout / the dead-join tolerance in finish_adjustment clean it up).
+  /// Returns false — and does nothing — for unknown/already-dead workers or
+  /// when the kill would leave no active worker.
+  bool fault_kill_worker(int worker);
+
+  /// Requests in flight at the scheduler façade (0 when quiescent).
+  int requests_in_flight() const { return requests_in_flight_; }
+
+  /// Coordination replies the current round is still waiting for (0 when no
+  /// round is in flight). Chaos diagnostics: a wedged round shows up here.
+  int decisions_outstanding() const { return decisions_outstanding_; }
+
   /// Fires after every completed iteration (tests/benches hook metrics here).
   std::function<void(std::uint64_t iteration)> on_iteration;
   /// Fires when stop_after_iterations is reached.
   std::function<void()> on_stopped;
+
+  // --- Fault-injection observation hooks (src/fault/FaultInjector) ----------
+
+  /// Fires when an adjustment's execution begins, with the planned
+  /// replication makespan (0 for S&R) — the anchor for "kill a worker
+  /// mid-replication" fault events.
+  std::function<void(AdjustmentType type, Seconds replication_time)> on_adjustment_started;
+  /// Fires once per training iteration with the epoch and the per-worker
+  /// shards consumed — the §V-C exactly-once invariant is checked on this.
+  std::function<void(std::uint64_t epoch, const std::vector<data::SampleRange>& shards)>
+      on_data_consumed;
+  /// Mirrors the AM's phase transitions; survives AM crash/recovery (the job
+  /// re-registers on the recovered instance). Same contract as
+  /// ApplicationMaster::set_phase_listener: called under the AM lock, only
+  /// schedule simulator events from it.
+  std::function<void(AmPhase from, AmPhase to)> on_am_phase;
+  /// Fires for every newly launched joining worker, before launch() — lets a
+  /// fault plan suppress its report.
+  std::function<void(WorkerProcess& worker)> on_worker_launched;
 
  private:
   sim::Simulator& sim_;
@@ -244,7 +288,14 @@ class ElasticJob {
   /// The scheduler's messaging identity for service requests/replies.
   std::unique_ptr<transport::ReliableEndpoint> sched_endpoint_;
   std::uint64_t next_request_id_ = 1;
+  /// Pending adjust-reply re-send timers, keyed by request id; cancelled
+  /// when the reply arrives.
+  std::map<std::uint64_t, sim::EventId> adjust_resend_timers_;
   int requests_in_flight_ = 0;
+  /// Request ids awaiting replies. An AM recovery loses the endpoint-level
+  /// duplicate suppression, so a resent request can draw a second reply;
+  /// replies for ids not in this set are discarded.
+  std::set<std::uint64_t> outstanding_requests_;
   std::map<int, std::unique_ptr<WorkerProcess>> workers_;
   /// Launched but not yet admitted workers (start/init in flight or waiting
   /// for the adjustment to complete).
@@ -267,6 +318,7 @@ class ElasticJob {
   /// Fail-stopped workers awaiting removal at the next iteration boundary.
   std::vector<int> pending_failures_;
   int worker_failures_ = 0;
+  bool fatal_failure_ = false;
   void process_pending_failures();
 
   // Coordination round state.
@@ -277,7 +329,12 @@ class ElasticJob {
   void register_loader_hook(WorkerProcess& worker);
   std::unique_ptr<WorkerProcess> make_worker(int id, topo::GpuId gpu, bool already_running);
   void send_adjust_request(AdjustRequestMsg msg);
+  void arm_adjust_resend(AdjustRequestMsg msg);
   void on_adjust_reply(const AdjustReplyMsg& reply);
+  void attach_master_listener();
+  /// Drops joining workers that died mid-launch or were orphaned by an
+  /// aborted plan (report-timeout eviction at the AM).
+  void reconcile_joining();
   void begin_iteration();
   void train_step();
   void finish_train_step();
@@ -292,6 +349,12 @@ class ElasticJob {
   void perform_adjustment(const AdjustmentPlan& plan);
   void execute_elan_adjustment(AdjustmentRecord record, const AdjustmentPlan& plan);
   void execute_snr_adjustment(AdjustmentRecord record, const AdjustmentPlan& plan);
+  /// Replication completion: if a transfer's source died mid-transfer, the
+  /// affected destinations are re-planned from surviving replicas and the
+  /// adjustment extends by the re-plan's makespan (recursing until a round
+  /// survives its own window).
+  void complete_elan_replication(AdjustmentRecord record, AdjustmentPlan plan,
+                                 ScalingDecision decision, std::map<int, int> sources);
   void finish_adjustment(AdjustmentRecord record, const AdjustmentPlan& plan,
                          double batch_factor, int new_total_batch);
   std::uint64_t gradient_seed(const data::SampleRange& range) const;

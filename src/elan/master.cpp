@@ -20,8 +20,9 @@ const char* to_string(AmPhase phase) {
 
 ApplicationMaster::ApplicationMaster(transport::MessageBus& bus, transport::KvStore& kv,
                                      std::string job_id,
-                                     std::vector<WorkerLaunchSpec> initial_workers)
-    : ApplicationMaster(bus, kv, std::move(job_id)) {
+                                     std::vector<WorkerLaunchSpec> initial_workers,
+                                     AmParams params)
+    : ApplicationMaster(bus, kv, std::move(job_id), params) {
   MutexLock lock(mu_);
   for (const auto& w : initial_workers) {
     require(w.worker >= 0, "AM: bad initial worker id");
@@ -32,9 +33,17 @@ ApplicationMaster::ApplicationMaster(transport::MessageBus& bus, transport::KvSt
 }
 
 ApplicationMaster::ApplicationMaster(transport::MessageBus& bus, transport::KvStore& kv,
-                                     std::string job_id)
-    : bus_(bus), kv_(kv), job_id_(std::move(job_id)), name_("am/" + job_id_) {
+                                     std::string job_id, AmParams params)
+    : bus_(bus), kv_(kv), job_id_(std::move(job_id)), name_("am/" + job_id_),
+      params_(params) {
+  require(params_.report_timeout > 0, "AM: report_timeout must be positive");
   attach_endpoint();
+}
+
+ApplicationMaster::~ApplicationMaster() {
+  alive_token_->store(false);
+  MutexLock lock(mu_);
+  cancel_report_timer_locked();
 }
 
 void ApplicationMaster::set_phase_locked(AmPhase next) {
@@ -48,7 +57,58 @@ void ApplicationMaster::set_phase_locked(AmPhase next) {
                     "{\"job\":\"" + obs::json_escape(job_id_) + "\"}");
     phase_started_us_ = now_us;
   }
+  const AmPhase prev = phase_;
   phase_ = next;
+  // Listener runs under mu_ (see header): it may schedule simulator events
+  // but must not call back into this AM.
+  if (phase_listener_ && prev != next) phase_listener_(prev, next);
+}
+
+void ApplicationMaster::arm_report_timer_locked() {
+  cancel_report_timer_locked();
+  auto token = alive_token_;
+  report_timer_ = bus_.simulator().schedule(params_.report_timeout, [this, token] {
+    if (!token->load()) return;
+    on_report_timeout();
+  });
+}
+
+void ApplicationMaster::cancel_report_timer_locked() {
+  if (report_timer_ != 0) {
+    bus_.simulator().cancel(report_timer_);
+    report_timer_ = 0;
+  }
+}
+
+void ApplicationMaster::on_report_timeout() {
+  MutexLock lock(mu_);
+  report_timer_ = 0;
+  if (phase_ != AmPhase::kWaitingReady) return;  // stale timer
+  // Joining workers that never reported are presumed dead (crashed during
+  // launch, or partitioned): evict them so the adjustment degrades
+  // gracefully to the workers that did report instead of wedging forever.
+  for (int id : pending_reports_) {
+    plan_.join.erase(id);
+    ++evictions_;
+    log_warn() << name_ << ": evicting joining worker " << id
+               << " (no report within " << params_.report_timeout << "s)";
+    if (obs::Tracer::enabled()) {
+      obs::Tracer::instance().instant(
+          "master", "evict_joining", "{\"worker\":" + std::to_string(id) + "}");
+    }
+  }
+  pending_reports_.clear();
+  if (plan_.join.empty() && plan_.type != AdjustmentType::kScaleIn) {
+    // Nobody made it: abort the adjustment cleanly (a migration without
+    // replacements must not remove its victims).
+    log_warn() << name_ << ": plan v" << plan_.version
+               << " aborted, no joining worker reported";
+    plan_ = AdjustmentPlan{};
+    set_phase_locked(AmPhase::kSteady);
+  } else {
+    set_phase_locked(AmPhase::kReady);
+  }
+  persist();
 }
 
 void ApplicationMaster::attach_endpoint() {
@@ -74,24 +134,36 @@ void ApplicationMaster::on_adjust_request(const AdjustRequestMsg& msg,
   reply.request_id = msg.request_id;
   {
     MutexLock lock(mu_);
-    try {
-      std::vector<WorkerLaunchSpec> specs;
-      switch (msg.type) {
-        case AdjustmentType::kScaleOut:
-          specs = scale_out_locked(msg.gpus);
-          break;
-        case AdjustmentType::kScaleIn:
-          scale_in_locked(msg.victims);
-          break;
-        case AdjustmentType::kMigrate:
-          specs = migrate_locked(msg.victims, msg.gpus);
-          break;
+    auto cached = replied_.find(msg.request_id);
+    if (cached != replied_.end()) {
+      // The job re-sent this request because the original reply never
+      // arrived — replay the cached verdict instead of re-executing.
+      log_debug() << "am/" << job_id_ << ": replaying reply for duplicate adjust request "
+                  << msg.request_id;
+      reply = cached->second;
+    } else {
+      try {
+        std::vector<WorkerLaunchSpec> specs;
+        switch (msg.type) {
+          case AdjustmentType::kScaleOut:
+            specs = scale_out_locked(msg.gpus);
+            break;
+          case AdjustmentType::kScaleIn:
+            scale_in_locked(msg.victims);
+            break;
+          case AdjustmentType::kMigrate:
+            specs = migrate_locked(msg.victims, msg.gpus);
+            break;
+        }
+        reply.ok = true;
+        for (const auto& s : specs) reply.launch.emplace_back(s.worker, s.gpu);
+      } catch (const Error& e) {
+        reply.ok = false;
+        reply.error = e.what();
       }
-      reply.ok = true;
-      for (const auto& s : specs) reply.launch.emplace_back(s.worker, s.gpu);
-    } catch (const Error& e) {
-      reply.ok = false;
-      reply.error = e.what();
+      replied_.emplace(msg.request_id, reply);
+      while (replied_.size() > 16) replied_.erase(replied_.begin());
+      persist();
     }
   }
   // Reply with no AM lock held (endpoint -> bus -> simulator locks follow).
@@ -119,6 +191,7 @@ std::vector<WorkerLaunchSpec> ApplicationMaster::scale_out_locked(
     specs.push_back({id, gpu});
   }
   set_phase_locked(AmPhase::kWaitingReady);
+  arm_report_timer_locked();
   persist();
   return specs;
 }
@@ -170,6 +243,7 @@ std::vector<WorkerLaunchSpec> ApplicationMaster::migrate_locked(
     specs.push_back({id, gpu});
   }
   set_phase_locked(AmPhase::kWaitingReady);
+  arm_report_timer_locked();
   persist();
   return specs;
 }
@@ -187,6 +261,7 @@ void ApplicationMaster::on_report(const ReportMsg& msg) {
   }
   pending_reports_.erase(msg.worker);
   if (pending_reports_.empty()) {
+    cancel_report_timer_locked();
     set_phase_locked(AmPhase::kReady);
     log_debug() << name_ << ": all new workers reported, plan v" << plan_.version
                 << " ready";
@@ -220,10 +295,15 @@ void ApplicationMaster::on_coordinate(const CoordinateMsg& msg, const std::strin
   endpoint_->send(reply_to, "decision", decision.serialize());
 }
 
-void ApplicationMaster::on_adjustment_complete() {
+void ApplicationMaster::on_adjustment_complete(const std::vector<int>& failed_joins) {
   MutexLock lock(mu_);
   require(phase_ == AmPhase::kAdjusting, "AM: no adjustment in flight");
-  for (const auto& [id, gpu] : plan_.join) workers_.emplace(id, gpu);
+  for (const auto& [id, gpu] : plan_.join) {
+    if (std::find(failed_joins.begin(), failed_joins.end(), id) != failed_joins.end()) {
+      continue;  // died between reporting and admission
+    }
+    workers_.emplace(id, gpu);
+  }
   for (int v : plan_.leave) workers_.erase(v);
   plan_ = AdjustmentPlan{};
   plan_.version = 0;
@@ -251,6 +331,11 @@ void ApplicationMaster::persist() {
   w.write_bytes(plan_bytes);
   w.write<std::uint64_t>(pending_reports_.size());
   for (int id : pending_reports_) w.write(id);
+  w.write<std::uint64_t>(replied_.size());
+  for (const auto& [id, reply] : replied_) {
+    w.write(id);
+    w.write_bytes(reply.serialize());
+  }
   kv_.put(kv_key(), w.take());
 }
 
@@ -273,19 +358,35 @@ void ApplicationMaster::restore_from_bytes(std::span<const std::uint8_t> data) {
   pending_reports_.clear();
   const auto np = r.read<std::uint64_t>();
   for (std::uint64_t i = 0; i < np; ++i) pending_reports_.insert(r.read<int>());
+  replied_.clear();
+  const auto nr = r.read<std::uint64_t>();
+  for (std::uint64_t i = 0; i < nr; ++i) {
+    const auto id = r.read<std::uint64_t>();
+    replied_.emplace(id, AdjustReplyMsg::deserialize(r.read_bytes()));
+  }
+  // A recovery landing mid-wait restarts the report-timeout clock: the
+  // workers get a fresh window before eviction.
+  if (phase_ == AmPhase::kWaitingReady) arm_report_timer_locked();
 }
 
 std::unique_ptr<ApplicationMaster> ApplicationMaster::recover(transport::MessageBus& bus,
                                                               transport::KvStore& kv,
-                                                              const std::string& job_id) {
+                                                              const std::string& job_id,
+                                                              AmParams params) {
   auto data = kv.get_now("elan/am/" + job_id);
   if (!data) throw NotFound("persisted AM state for job " + job_id);
   // Note: cannot use make_unique with a private constructor.
-  std::unique_ptr<ApplicationMaster> am(new ApplicationMaster(bus, kv, job_id));
+  std::unique_ptr<ApplicationMaster> am(new ApplicationMaster(bus, kv, job_id, params));
   am->restore_from_bytes(*data);
   return am;
 }
 
-void ApplicationMaster::crash() { endpoint_->shutdown(); }
+void ApplicationMaster::crash() {
+  endpoint_->shutdown();
+  // Timers are process-local state: they die with the process. Recovery
+  // re-arms the report timeout from the persisted phase.
+  MutexLock lock(mu_);
+  cancel_report_timer_locked();
+}
 
 }  // namespace elan

@@ -19,6 +19,7 @@
 // Accessors return snapshots by value — the state machine keeps moving.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <map>
@@ -48,10 +49,20 @@ struct WorkerLaunchSpec {
   topo::GpuId gpu = -1;
 };
 
+struct AmParams {
+  /// How long the AM waits in kWaitingReady for joining workers' reports.
+  /// Workers that never report (crashed or partitioned mid-launch) are
+  /// evicted from the plan when the timeout fires: the scale-out degrades
+  /// gracefully to the workers that did report, or aborts cleanly if none
+  /// did. Must comfortably exceed worker start + init time.
+  Seconds report_timeout = 120.0;
+};
+
 class ApplicationMaster {
  public:
   ApplicationMaster(transport::MessageBus& bus, transport::KvStore& kv, std::string job_id,
-                    std::vector<WorkerLaunchSpec> initial_workers);
+                    std::vector<WorkerLaunchSpec> initial_workers, AmParams params = {});
+  ~ApplicationMaster();
 
   const std::string& name() const { return name_; }
   const std::string& job_id() const { return job_id_; }
@@ -99,7 +110,9 @@ class ApplicationMaster {
   // --- Completion signal from the job runtime ------------------------------
 
   /// Called by the job once replication/repartition/reconstruction finished.
-  void on_adjustment_complete();
+  /// `failed_joins` lists planned joiners that died before admission (killed
+  /// mid-replication); they are excluded from the new membership.
+  void on_adjustment_complete(const std::vector<int>& failed_joins = {});
 
   /// Removes a fail-stopped worker from the membership (worker fault
   /// tolerance: the job detected a dead replica at an iteration boundary).
@@ -109,13 +122,26 @@ class ApplicationMaster {
 
   // --- Fault tolerance ------------------------------------------------------
 
-  /// Rebuilds an AM from the state machine persisted in the KV store.
+  /// Rebuilds an AM from the state machine persisted in the KV store. A
+  /// recovery landing in kWaitingReady re-arms the report timeout.
   static std::unique_ptr<ApplicationMaster> recover(transport::MessageBus& bus,
                                                     transport::KvStore& kv,
-                                                    const std::string& job_id);
+                                                    const std::string& job_id,
+                                                    AmParams params = {});
 
-  /// Detaches from the bus (crash simulation).
+  /// Detaches from the bus (crash simulation). Pending report timers die
+  /// with the process; recovery re-arms them from the persisted state.
   void crash();
+
+  /// Observer of phase transitions (fault injection hooks on "crash the AM
+  /// between phases X and Y"). Invoked with the AM lock held: the listener
+  /// must not call back into this AM — scheduling simulator events is the
+  /// intended use (lock order application_master -> ... -> simulator).
+  using PhaseListener = std::function<void(AmPhase from, AmPhase to)>;
+  void set_phase_listener(PhaseListener listener) {
+    MutexLock lock(mu_);
+    phase_listener_ = std::move(listener);
+  }
 
   std::uint64_t reports_received() const {
     MutexLock lock(mu_);
@@ -125,14 +151,21 @@ class ApplicationMaster {
     MutexLock lock(mu_);
     return coordinations_;
   }
+  /// Joining workers evicted by the report timeout.
+  std::uint64_t evictions() const {
+    MutexLock lock(mu_);
+    return evictions_;
+  }
 
  private:
-  ApplicationMaster(transport::MessageBus& bus, transport::KvStore& kv, std::string job_id);
+  ApplicationMaster(transport::MessageBus& bus, transport::KvStore& kv, std::string job_id,
+                    AmParams params);
 
   transport::MessageBus& bus_;
   transport::KvStore& kv_;
   std::string job_id_;
   std::string name_;
+  AmParams params_;
   std::unique_ptr<transport::ReliableEndpoint> endpoint_;
 
   mutable Mutex mu_{"application_master"};
@@ -144,12 +177,29 @@ class ApplicationMaster {
   AdjustmentPlan plan_ ELAN_GUARDED_BY(mu_);
   // Joining workers that have not reported yet.
   std::set<int> pending_reports_ ELAN_GUARDED_BY(mu_);
+  /// Replay cache making on_adjust_request idempotent: if the job re-sends a
+  /// request because the reply was lost (an AM crash between transport ack
+  /// and reply delivery destroys the reply's retry state), the cached reply
+  /// is re-sent instead of re-executing the adjustment. Persisted with the
+  /// rest of the AM state; pruned to the most recent entries (request ids
+  /// are monotonic).
+  std::map<std::uint64_t, AdjustReplyMsg> replied_ ELAN_GUARDED_BY(mu_);
   int next_worker_id_ ELAN_GUARDED_BY(mu_) = 0;
   std::uint64_t next_version_ ELAN_GUARDED_BY(mu_) = 1;
   std::uint64_t reports_received_ ELAN_GUARDED_BY(mu_) = 0;
   std::uint64_t coordinations_ ELAN_GUARDED_BY(mu_) = 0;
+  std::uint64_t evictions_ ELAN_GUARDED_BY(mu_) = 0;
+  PhaseListener phase_listener_ ELAN_GUARDED_BY(mu_);
+  // Report-timeout timer for the current kWaitingReady stay. The token
+  // outlives the AM so a timer firing after destruction is a no-op.
+  sim::EventId report_timer_ ELAN_GUARDED_BY(mu_) = 0;
+  std::shared_ptr<std::atomic<bool>> alive_token_ =
+      std::make_shared<std::atomic<bool>>(true);
 
   void attach_endpoint();
+  void arm_report_timer_locked() ELAN_REQUIRES(mu_);
+  void cancel_report_timer_locked() ELAN_REQUIRES(mu_);
+  void on_report_timeout();
   void handle(const transport::Message& msg);
   void on_report(const ReportMsg& msg);
   void on_coordinate(const CoordinateMsg& msg, const std::string& reply_to);

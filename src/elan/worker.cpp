@@ -40,7 +40,9 @@ WorkerProcess::WorkerProcess(sim::Simulator& simulator, transport::MessageBus& b
       bus, name_, [this](const transport::Message& msg) { handle(msg); });
 }
 
-WorkerProcess::~WorkerProcess() = default;
+WorkerProcess::~WorkerProcess() {
+  if (decision_timer_ != 0) sim_.cancel(decision_timer_);
+}
 
 void WorkerProcess::register_builtin_hooks() {
   // The engine exposes its framework-specific state (Table II: model and
@@ -71,11 +73,15 @@ void WorkerProcess::launch(std::function<void()> on_ready) {
     measured_init_ = engine_->initialization_time();
     sim_.schedule(measured_init_, [this, on_ready = std::move(on_ready)]() {
       state_ = WorkerState::kReady;
-      ReportMsg report;
-      report.worker = id_;
-      report.gpu = gpu_;
-      endpoint_->send(am_name_, "report", report.serialize());
-      log_debug() << name_ << ": ready, reported to AM";
+      if (suppress_report_) {
+        log_debug() << name_ << ": ready, but report suppressed (fault injection)";
+      } else {
+        ReportMsg report;
+        report.worker = id_;
+        report.gpu = gpu_;
+        endpoint_->send(am_name_, "report", report.serialize());
+        log_debug() << name_ << ": ready, reported to AM";
+      }
       if (on_ready) on_ready();
     });
   });
@@ -87,10 +93,31 @@ void WorkerProcess::coordinate(std::uint64_t iteration,
           "coordinate: worker " + name_ + " not running");
   require(!pending_decision_, "coordinate: decision already pending on " + name_);
   pending_decision_ = std::move(on_decision);
+  pending_iteration_ = iteration;
+  send_coordinate();
+  arm_decision_timer();
+}
+
+void WorkerProcess::send_coordinate() {
   CoordinateMsg msg;
   msg.worker = id_;
-  msg.iteration = iteration;
+  msg.iteration = pending_iteration_;
   endpoint_->send(am_name_, "coordinate", msg.serialize());
+}
+
+void WorkerProcess::arm_decision_timer() {
+  decision_timer_ = sim_.schedule(params_.decision_timeout, [this] {
+    decision_timer_ = 0;
+    if (!pending_decision_ || state_ == WorkerState::kStopped) return;
+    // The transport acked the coordinate but the decision never came — the
+    // AM crashed between ack and reply. Re-send under a fresh message id so
+    // the (recovered, dedup-reset) AM answers again.
+    ++decision_resends_;
+    log_debug() << name_ << ": no decision for iteration " << pending_iteration_ << " after "
+                << params_.decision_timeout << "s; re-sending coordinate";
+    send_coordinate();
+    arm_decision_timer();
+  });
 }
 
 void WorkerProcess::handle(const transport::Message& msg) {
@@ -99,8 +126,22 @@ void WorkerProcess::handle(const transport::Message& msg) {
       log_trace() << name_ << ": decision with no pending coordination (duplicate)";
       return;
     }
+    auto decision = DecisionMsg::deserialize(msg.payload);
+    if (decision.iteration != pending_iteration_) {
+      // A stale replay: a lost-ack coordinate from an earlier round was
+      // re-delivered to a recovered AM, which answered it. Consuming it here
+      // would hand this round a decision made for a different one (and the
+      // real decision would then be dropped as a duplicate).
+      log_trace() << name_ << ": stale decision for iteration " << decision.iteration
+                  << " (awaiting " << pending_iteration_ << "); discarded";
+      return;
+    }
+    if (decision_timer_ != 0) {
+      sim_.cancel(decision_timer_);
+      decision_timer_ = 0;
+    }
     auto cb = std::exchange(pending_decision_, nullptr);
-    cb(DecisionMsg::deserialize(msg.payload));
+    cb(decision);
   } else {
     log_warn() << name_ << ": unknown message type " << msg.type;
   }
@@ -114,6 +155,10 @@ void WorkerProcess::set_training() {
 void WorkerProcess::shutdown() {
   state_ = WorkerState::kStopped;
   pending_decision_ = nullptr;
+  if (decision_timer_ != 0) {
+    sim_.cancel(decision_timer_);
+    decision_timer_ = 0;
+  }
   endpoint_->shutdown();
 }
 

@@ -38,6 +38,14 @@ struct WorkerParams {
   /// Nominal CPU-state sizes (Table II): loader state and runtime info.
   Bytes loader_state_bytes = 64_KiB;
   Bytes runtime_state_bytes = 1_KiB;
+  /// How long a worker waits for a coordination decision before re-sending
+  /// its Coordinate. The transport layer guarantees delivery of the
+  /// *request*, not the *reply*: if the AM crashes after acking a coordinate
+  /// but before its decision reaches the worker, the decision dies with the
+  /// AM's endpoint and nobody retries it. The worker-level timer closes that
+  /// gap — the recovered AM answers the re-sent coordinate (re-instructing
+  /// the in-flight plan if it was mid-adjustment).
+  Seconds decision_timeout = 1.0;
 };
 
 class WorkerProcess {
@@ -88,6 +96,17 @@ class WorkerProcess {
   /// Graceful stop; detaches from the bus.
   void shutdown();
 
+  /// Fault hook: the ready report is never sent (a hung or partitioned
+  /// container that finished starting but cannot reach the AM). The AM's
+  /// report timeout eventually evicts this worker from the plan.
+  void fault_suppress_report() { suppress_report_ = true; }
+  bool report_suppressed() const { return suppress_report_; }
+
+  /// Coordinates re-sent because no decision arrived within
+  /// `decision_timeout` (normally zero; nonzero after an AM crash ate the
+  /// reply).
+  std::uint64_t decision_resends() const { return decision_resends_; }
+
   /// Total Launching time and Initializing time actually incurred (Fig 11
   /// breakdown inputs).
   Seconds measured_start_time() const { return measured_start_; }
@@ -116,11 +135,20 @@ class WorkerProcess {
   HookRegistry hooks_;
   std::unique_ptr<transport::ReliableEndpoint> endpoint_;
   std::function<void(const DecisionMsg&)> pending_decision_;
+  /// Iteration echoed in the pending coordinate; decisions for any other
+  /// iteration are stale replays (lost-ack re-sends answered by a recovered
+  /// AM) and must not consume the pending slot.
+  std::uint64_t pending_iteration_ = 0;
+  sim::EventId decision_timer_ = 0;
+  std::uint64_t decision_resends_ = 0;
+  bool suppress_report_ = false;
   Seconds measured_start_ = 0;
   Seconds measured_init_ = 0;
 
   void register_builtin_hooks();
   void handle(const transport::Message& msg);
+  void send_coordinate();
+  void arm_decision_timer();
 };
 
 }  // namespace elan

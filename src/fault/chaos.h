@@ -1,0 +1,106 @@
+// Chaos harness: seeded random fault plans + invariant checking.
+//
+// ChaosRunner::sample_plan(seed) deterministically expands one 64-bit seed
+// into a full scenario — initial worker count, data semantics, mechanism, a
+// workload of scale-out/scale-in/migrate requests, and a FaultPlan of kills,
+// AM crashes, partitions, slow links and suppressed reports. run_plan builds
+// a fresh simulated cluster, arms the plan, drives the simulator to
+// completion under an event budget, and checks the runtime's core
+// invariants:
+//
+//   1. no deadlock / livelock — the event queue drains within the budget;
+//   2. convergence — the job reaches its target iteration count;
+//   3. replica consistency — all surviving replicas are bit-identical;
+//   4. exactly-once data — every completed epoch consumed each sample
+//      exactly once (paper §V-C serial semantics), faults notwithstanding;
+//   5. clean control plane — no request left in flight, the AM parked in
+//      Steady or Ready (never wedged mid-adjustment).
+//
+// Everything is derived from the seed: a failing plan is reproduced with
+// `ChaosRunner::run_plan(ChaosRunner::sample_plan(seed))` and nothing else
+// (see README "Reproducing a chaos failure from a seed").
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "elan/job.h"
+#include "fault/fault.h"
+
+namespace elan::fault {
+
+/// One scripted service request in the chaos workload.
+struct AdjustmentAction {
+  Seconds at = 0;
+  AdjustmentType type{};
+  int count = 1;  // workers to add / remove / migrate
+};
+
+/// A complete chaos scenario: job shape, workload, faults.
+struct ChaosPlan {
+  std::uint64_t seed = 0;
+  int initial_workers = 3;
+  std::uint64_t target_iterations = 400;
+  DataSemantics semantics = DataSemantics::kSerial;
+  Mechanism mechanism = Mechanism::kElan;
+  /// Baseline message-loss probability on the control bus (on top of any
+  /// scripted partitions).
+  double drop_probability = 0.0;
+  std::vector<AdjustmentAction> actions;
+  FaultPlan faults;
+
+  std::string describe() const;
+};
+
+struct ChaosResult {
+  std::uint64_t seed = 0;
+  /// Invariant violations; empty means the run passed.
+  std::vector<std::string> failures;
+  bool ok() const { return failures.empty(); }
+
+  bool drained = false;
+  /// The plan destroyed every replica (kills racing scale-ins); the job
+  /// stopped cleanly instead of continuing — a legal outcome, not a failure.
+  bool all_replicas_lost = false;
+  std::uint64_t iterations = 0;
+  Seconds end_time = 0;
+  int final_workers = 0;
+  int adjustments_completed = 0;
+  int adjustments_rejected = 0;
+  int worker_failures = 0;
+  std::uint64_t evictions = 0;
+  int master_crashes = 0;
+  int kills = 0;
+  /// Digest of the final state (iteration, replica checksums, sampler
+  /// cursor, clock). Two runs of the same plan must produce equal
+  /// fingerprints — the determinism contract.
+  std::uint64_t fingerprint = 0;
+  /// Training pause of each completed adjustment (bench percentile input).
+  std::vector<Seconds> adjustment_pauses;
+  /// Longest gap between consecutive iteration completions — the worst
+  /// training stall any fault caused (worker-failure recovery shows up
+  /// here).
+  Seconds max_iteration_gap = 0;
+
+  std::string describe() const;
+};
+
+class ChaosRunner {
+ public:
+  /// Deterministically expands a seed into a scenario.
+  static ChaosPlan sample_plan(std::uint64_t seed);
+
+  /// Runs one scenario in a fresh simulated cluster and checks invariants.
+  static ChaosResult run_plan(const ChaosPlan& plan);
+
+  /// Convenience: sample_plan + run_plan.
+  static ChaosResult run_seed(std::uint64_t seed);
+
+  /// Runs `count` seeded plans starting at `seed_base`. Stops early only on
+  /// an event-budget exhaustion bug, never on ordinary invariant failures —
+  /// callers inspect the per-plan results.
+  static std::vector<ChaosResult> sweep(std::uint64_t seed_base, int count);
+};
+
+}  // namespace elan::fault

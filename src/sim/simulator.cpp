@@ -61,6 +61,14 @@ Seconds Simulator::run() {
   return now();
 }
 
+bool Simulator::run_bounded(std::uint64_t max_events) {
+  for (std::uint64_t i = 0; i < max_events; ++i) {
+    if (!step()) return true;
+  }
+  MutexLock lock(mu_);
+  return callbacks_.empty();  // cancelled queue entries do not count
+}
+
 Seconds Simulator::run_until(Seconds deadline) {
   {
     MutexLock lock(mu_);

@@ -60,6 +60,12 @@ class Simulator {
   /// if the queue drained earlier. Returns the new now(). Single-driver.
   Seconds run_until(Seconds deadline);
 
+  /// Runs until the queue drains or `max_events` callbacks have executed.
+  /// Returns true iff the queue drained — the chaos harness's no-deadlock /
+  /// no-livelock invariant (an unbounded retry loop never drains).
+  /// Single-driver.
+  bool run_bounded(std::uint64_t max_events);
+
   /// Executes at most one event. Returns false if the queue is empty.
   /// Single-driver.
   bool step();

@@ -39,7 +39,12 @@ MessageId MessageBus::send(Message msg) {
   const bool force_drop = forced != forced_drops_.end() && forced->second > 0;
   if (force_drop) --forced->second;
 
-  if (force_drop || rng_.chance(params_.drop_probability)) {
+  // Scripted faults (partitions, drop windows, slow links) see the message
+  // before the random loss model does, so their behaviour is seed-exact.
+  FaultDecision fault;
+  if (fault_filter_) fault = fault_filter_(msg, sim_.now());
+
+  if (force_drop || fault.drop || rng_.chance(params_.drop_probability)) {
     ++stats_.dropped;
     log_trace() << "bus: dropped " << msg.type << " " << msg.from << "->" << msg.to;
     return msg.id;
@@ -47,6 +52,7 @@ MessageId MessageBus::send(Message msg) {
 
   Seconds latency = message_latency(msg.payload.size());
   latency *= 1.0 + rng_.uniform(0.0, params_.jitter_fraction);
+  latency *= std::max(1.0, fault.latency_factor);
 
   // Per-connection FIFO (ZeroMQ semantics): never deliver before an earlier
   // message on the same (from, to) stream.
@@ -149,7 +155,15 @@ void ReliableEndpoint::transmit(MessageId id) {
 void ReliableEndpoint::arm_timer(MessageId id) {
   auto token = alive_token_;
   auto& p = pending_.at(id);
-  p.timer = bus_.simulator().schedule(params_.ack_timeout, [this, token, id]() {
+  // Bounded exponential backoff: attempt n waits ack_timeout * factor^(n-1),
+  // capped at max_backoff. A crashed peer restarting minutes later is still
+  // reached, while a healthy one costs only the base timeout.
+  Seconds wait = params_.ack_timeout;
+  for (int i = 1; i < p.attempts && wait < params_.max_backoff; ++i) {
+    wait *= params_.backoff_factor;
+  }
+  wait = std::min(wait, std::max(params_.ack_timeout, params_.max_backoff));
+  p.timer = bus_.simulator().schedule(wait, [this, token, id]() {
     if (!token->load()) return;
     MutexLock lock(mu_);
     auto it = pending_.find(id);

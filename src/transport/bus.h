@@ -48,6 +48,19 @@ struct BusStats {
   std::uint64_t to_unknown = 0;
 };
 
+/// Verdict of a fault filter for one message (see set_fault_filter).
+struct FaultDecision {
+  bool drop = false;
+  /// Multiplies the base latency (>1 models a slow / congested link).
+  double latency_factor = 1.0;
+};
+
+/// Admission-time fault hook: called for every message under the bus lock,
+/// so implementations must not call back into the bus or simulator — they
+/// may only consult their own (leaf-locked) state. src/fault/FaultInjector
+/// is the canonical implementation (partitions, drop windows, slow links).
+using FaultFilter = std::function<FaultDecision(const Message&, Seconds now)>;
+
 class MessageBus {
  public:
   using Handler = std::function<void(const Message&)>;
@@ -94,6 +107,13 @@ class MessageBus {
     forced_drops_[from] += n;
   }
 
+  /// Installs (or clears, with nullptr) the fault filter consulted on every
+  /// send. Filtered drops count into stats().dropped.
+  void set_fault_filter(FaultFilter filter) {
+    MutexLock lock(mu_);
+    fault_filter_ = std::move(filter);
+  }
+
  private:
   sim::Simulator& sim_;
   const topo::BandwidthModel& bandwidth_;
@@ -104,6 +124,7 @@ class MessageBus {
   MessageId next_id_ ELAN_GUARDED_BY(mu_) = 1;
   std::map<std::string, Handler> handlers_ ELAN_GUARDED_BY(mu_);
   std::map<std::string, int> forced_drops_ ELAN_GUARDED_BY(mu_);
+  FaultFilter fault_filter_ ELAN_GUARDED_BY(mu_);
   /// ZeroMQ guarantees per-connection ordering: jitter must not let a later
   /// message between the same (from, to) pair overtake an earlier one.
   std::map<std::pair<std::string, std::string>, Seconds> pair_clock_ ELAN_GUARDED_BY(mu_);
@@ -115,6 +136,11 @@ class MessageBus {
 struct ReliableParams {
   Seconds ack_timeout = milliseconds(50.0);
   int max_retries = 100;  // ZeroMQ keeps trying to reconnect; bounded for sim hygiene
+  /// Resend delays grow geometrically (ack_timeout * backoff_factor^n) up to
+  /// max_backoff, so max_retries buys a long give-up horizon — long enough
+  /// to span an AM crash + restart (§V-D) — without flooding the bus.
+  double backoff_factor = 2.0;
+  Seconds max_backoff = 5.0;
 };
 
 /// Reliable messaging endpoint: unique ids, ack, timeout-based resend and

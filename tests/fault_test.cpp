@@ -1,0 +1,192 @@
+// Chaos harness tests: the seeded fault-injection sweep (ISSUE acceptance:
+// >= 200 fixed-seed plans deterministic across two consecutive runs) plus
+// scripted single-fault scenarios exercising each FaultKind end to end.
+#include <gtest/gtest.h>
+
+#include "common/log.h"
+#include "fault/chaos.h"
+
+namespace elan::fault {
+namespace {
+
+// Chaos runs log expected warnings (rejected adjustments, injected
+// failures); silence them so a 400-run sweep doesn't drown the test output.
+class FaultTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    prev_ = Logger::level();
+    Logger::set_level(LogLevel::kOff);
+  }
+  void TearDown() override { Logger::set_level(prev_); }
+
+ private:
+  LogLevel prev_{};
+};
+
+TEST_F(FaultTest, SamplePlanIsSeedDeterministic) {
+  for (std::uint64_t seed : {1ULL, 42ULL, 124ULL, 0xdeadbeefULL}) {
+    const auto a = ChaosRunner::sample_plan(seed);
+    const auto b = ChaosRunner::sample_plan(seed);
+    EXPECT_EQ(a.describe(), b.describe()) << "seed " << seed;
+  }
+  EXPECT_NE(ChaosRunner::sample_plan(1).describe(), ChaosRunner::sample_plan(2).describe());
+}
+
+// The acceptance sweep: 200 consecutive seeds, every plan passes its
+// invariants, and a second full run of the same plans reproduces every
+// fingerprint bit for bit.
+TEST_F(FaultTest, TwoHundredPlanSweepPassesTwiceDeterministically) {
+  constexpr int kPlans = 200;
+  constexpr std::uint64_t kBase = 1;
+  std::vector<std::uint64_t> fingerprints;
+  fingerprints.reserve(kPlans);
+  for (int i = 0; i < kPlans; ++i) {
+    const auto plan = ChaosRunner::sample_plan(kBase + static_cast<std::uint64_t>(i));
+    const auto result = ChaosRunner::run_plan(plan);
+    ASSERT_TRUE(result.ok()) << plan.describe() << "\n" << result.describe();
+    fingerprints.push_back(result.fingerprint);
+  }
+  for (int i = 0; i < kPlans; ++i) {
+    const std::uint64_t seed = kBase + static_cast<std::uint64_t>(i);
+    const auto result = ChaosRunner::run_seed(seed);
+    ASSERT_TRUE(result.ok()) << result.describe();
+    ASSERT_EQ(fingerprints[static_cast<std::size_t>(i)], result.fingerprint)
+        << "seed " << seed << " is nondeterministic";
+  }
+}
+
+// §V-C serial semantics under a crash-interrupted scale-out: a worker is
+// killed while the scale-out is in flight, and the AM dies on entering
+// WaitingReady (losing the accept reply) and again on entering Adjusting
+// (losing an instruct decision). Every completed epoch must still consume
+// each sample exactly once, contiguously.
+TEST_F(FaultTest, SerialExactlyOnceUnderCrashInterruptedScaleOut) {
+  ChaosPlan plan;
+  plan.initial_workers = 3;
+  plan.semantics = DataSemantics::kSerial;
+  plan.mechanism = Mechanism::kElan;
+  plan.drop_probability = 0.05;
+  plan.target_iterations = 100000;  // the 20s horizon ends the run
+  plan.actions.push_back({2.0, AdjustmentType::kScaleOut, 2});
+
+  FaultEvent crash_waiting;
+  crash_waiting.kind = FaultKind::kCrashMaster;
+  crash_waiting.phase = static_cast<int>(AmPhase::kWaitingReady);
+  crash_waiting.duration = 1.0;
+  plan.faults.events.push_back(crash_waiting);
+
+  FaultEvent crash_adjusting;
+  crash_adjusting.kind = FaultKind::kCrashMaster;
+  crash_adjusting.phase = static_cast<int>(AmPhase::kAdjusting);
+  crash_adjusting.duration = 0.7;
+  plan.faults.events.push_back(crash_adjusting);
+
+  FaultEvent kill;
+  kill.kind = FaultKind::kKillWorker;
+  kill.at = 2.5;  // while the scale-out is in flight
+  plan.faults.events.push_back(kill);
+
+  const auto result = ChaosRunner::run_plan(plan);
+  EXPECT_TRUE(result.ok()) << plan.describe() << "\n" << result.describe();
+  EXPECT_EQ(result.master_crashes, 2);
+  EXPECT_EQ(result.kills, 1);
+  EXPECT_GE(result.adjustments_completed, 1);
+  EXPECT_GT(result.iterations, 0u);
+}
+
+// Chunk semantics under the same interruption pattern: no sample repeats
+// within an epoch even though chunk hand-off is coarser.
+TEST_F(FaultTest, ChunkExactlyOnceUnderCrashInterruptedScaleOut) {
+  ChaosPlan plan;
+  plan.initial_workers = 3;
+  plan.semantics = DataSemantics::kChunk;
+  plan.mechanism = Mechanism::kElan;
+  plan.drop_probability = 0.05;
+  plan.target_iterations = 100000;
+  plan.actions.push_back({2.0, AdjustmentType::kScaleOut, 2});
+  FaultEvent crash;
+  crash.kind = FaultKind::kCrashMaster;
+  crash.phase = static_cast<int>(AmPhase::kWaitingReady);
+  crash.duration = 1.0;
+  plan.faults.events.push_back(crash);
+
+  const auto result = ChaosRunner::run_plan(plan);
+  EXPECT_TRUE(result.ok()) << plan.describe() << "\n" << result.describe();
+  EXPECT_EQ(result.master_crashes, 1);
+}
+
+// A full partition of the AM for a bounded window: the reliable endpoints'
+// backoff must ride it out and the workload must complete afterwards.
+TEST_F(FaultTest, AmPartitionWindowHealsAndAdjustmentCompletes) {
+  ChaosPlan plan;
+  plan.initial_workers = 3;
+  plan.target_iterations = 100000;
+  plan.actions.push_back({3.5, AdjustmentType::kScaleOut, 1});
+  FaultEvent part;
+  part.kind = FaultKind::kDropLink;
+  part.at = 3.0;
+  part.duration = 1.5;
+  part.endpoint_a = "am/";
+  plan.faults.events.push_back(part);
+
+  const auto result = ChaosRunner::run_plan(plan);
+  EXPECT_TRUE(result.ok()) << plan.describe() << "\n" << result.describe();
+  EXPECT_GE(result.adjustments_completed, 1);
+}
+
+// A slowed link delays but must not break an adjustment.
+TEST_F(FaultTest, SlowLinkOnlyDelaysAdjustment) {
+  ChaosPlan plan;
+  plan.initial_workers = 3;
+  plan.target_iterations = 100000;
+  plan.actions.push_back({2.0, AdjustmentType::kScaleOut, 1});
+  FaultEvent slow;
+  slow.kind = FaultKind::kSlowLink;
+  slow.at = 1.5;
+  slow.duration = 4.0;
+  slow.factor = 8.0;
+  plan.faults.events.push_back(slow);
+
+  const auto result = ChaosRunner::run_plan(plan);
+  EXPECT_TRUE(result.ok()) << plan.describe() << "\n" << result.describe();
+  EXPECT_GE(result.adjustments_completed, 1);
+}
+
+// A joiner that finishes starting but never reports must be evicted by the
+// AM's report timeout; the adjustment degrades instead of wedging.
+TEST_F(FaultTest, SuppressedReportLeadsToEvictionNotWedge) {
+  ChaosPlan plan;
+  plan.initial_workers = 2;
+  plan.target_iterations = 100000;
+  plan.actions.push_back({1.0, AdjustmentType::kScaleOut, 1});
+  FaultEvent hang;
+  hang.kind = FaultKind::kSuppressReport;
+  hang.at = 0.5;
+  plan.faults.events.push_back(hang);
+
+  const auto result = ChaosRunner::run_plan(plan);
+  EXPECT_TRUE(result.ok()) << plan.describe() << "\n" << result.describe();
+  EXPECT_GE(result.evictions, 1u);
+}
+
+// Shutdown-and-restart mechanism under a worker kill: the S&R path shares
+// the invariant checker with Elan.
+TEST_F(FaultTest, ShutdownRestartSurvivesWorkerKill) {
+  ChaosPlan plan;
+  plan.initial_workers = 3;
+  plan.mechanism = Mechanism::kShutdownRestart;
+  plan.target_iterations = 100000;
+  plan.actions.push_back({3.0, AdjustmentType::kScaleOut, 1});
+  FaultEvent kill;
+  kill.kind = FaultKind::kKillWorker;
+  kill.at = 1.5;
+  plan.faults.events.push_back(kill);
+
+  const auto result = ChaosRunner::run_plan(plan);
+  EXPECT_TRUE(result.ok()) << plan.describe() << "\n" << result.describe();
+  EXPECT_EQ(result.kills, 1);
+  EXPECT_GE(result.worker_failures, 1);
+}
+
+}  // namespace
+}  // namespace elan::fault

@@ -90,7 +90,8 @@ TEST(ApplicationMaster, BecomesReadyOnceAllReport) {
   AmFixture::FakeWorker w4(f.bus, 4, "job0");
   AmFixture::FakeWorker w5(f.bus, 5, "job0");
   w4.report(4, 4);
-  f.sim.run();
+  // Bounded drain: a full run() would reach the report-timeout eviction.
+  f.sim.run_until(1.0);
   EXPECT_EQ(am->phase(), AmPhase::kWaitingReady);  // one of two reported
   w5.report(5, 5);
   f.sim.run();
@@ -171,7 +172,7 @@ TEST(ApplicationMaster, RecoversFromKvStore) {
   am->scale_out({4, 5});
   AmFixture::FakeWorker w4(f.bus, 4, "job0");
   w4.report(4, 4);
-  f.sim.run();
+  f.sim.run_until(1.0);  // bounded: stay short of the report-timeout eviction
 
   // Crash the AM mid-adjustment (one report received, one pending).
   am->crash();
@@ -247,7 +248,9 @@ TEST(ApplicationMaster, AdjustRequestRpcRoundTrip) {
     second.victims = {0};
     sched.send("am/job0", "adjust_request", second.serialize());
   });
-  f.sim.run();
+  // Bounded drain: the launched workers never report in this test, so a full
+  // run() would hit the report-timeout eviction and leave kWaitingReady.
+  f.sim.run_until(2.0);
 
   ASSERT_EQ(replies.size(), 2u);
   EXPECT_EQ(replies[0].request_id, 42u);

@@ -1,0 +1,99 @@
+// Chaos CLI: run seeded fault-injection sweeps against the elastic runtime.
+//
+//   elan_chaos --seed=1 --plans=200            fixed-seed sweep (PR smoke)
+//   elan_chaos --seed=$(git rev-parse HEAD | cut -c1-8) --plans=500
+//                                              rotating nightly sweep
+//   elan_chaos --seed=0x2a --plans=1 --verbose reproduce one failure
+//
+// Exit code 0 iff every plan passed its invariants. On failure the plan and
+// result are printed in full — the seed alone reproduces the run (see the
+// README walkthrough). --check-determinism runs every plan twice and
+// compares fingerprints.
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "common/flags.h"
+#include "common/log.h"
+#include "fault/chaos.h"
+
+namespace {
+
+std::uint64_t parse_seed(const std::string& text) {
+  // Accepts decimal, 0x-hex, or an arbitrary string (e.g. a commit prefix),
+  // which is hashed — that is how CI derives the nightly rotating seed.
+  try {
+    return std::stoull(text, nullptr, 0);
+  } catch (...) {
+    std::uint64_t h = 0xcbf29ce484222325ULL;
+    for (unsigned char c : text) h = (h ^ c) * 0x100000001b3ULL;
+    return h;
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using elan::fault::ChaosRunner;
+
+  elan::Flags flags;
+  flags.define("seed", "1", "base seed (decimal, 0x-hex, or any string — strings are hashed)");
+  flags.define("plans", "20", "number of consecutive seeds to run");
+  flags.define("budget-seconds", "0", "stop after this much wall time (0 = run all plans)");
+  flags.define("check-determinism", "false", "run each plan twice and compare fingerprints");
+  flags.define("verbose", "false", "print every plan and result, not just failures");
+  elan::define_log_level_flag(flags);
+
+  try {
+    flags.parse(argc, argv);
+  } catch (const elan::Error& e) {
+    std::fprintf(stderr, "%s\n%s", e.what(), flags.usage(argv[0]).c_str());
+    return 2;
+  }
+  if (flags.help_requested()) {
+    std::printf("%s", flags.usage(argv[0]).c_str());
+    return 0;
+  }
+  elan::apply_log_level_flag(flags);
+
+  const std::uint64_t seed_base = parse_seed(flags.get("seed"));
+  const int plans = static_cast<int>(flags.get_int("plans"));
+  const double budget = flags.get_double("budget-seconds");
+  const bool check_determinism = flags.get_bool("check-determinism");
+  const bool verbose = flags.get_bool("verbose");
+
+  const auto started = std::chrono::steady_clock::now();
+  int failed = 0;
+  int ran = 0;
+  for (int i = 0; i < plans; ++i) {
+    if (budget > 0) {
+      const double elapsed =
+          std::chrono::duration<double>(std::chrono::steady_clock::now() - started).count();
+      if (elapsed > budget) {
+        std::printf("budget of %.0fs reached after %d/%d plans\n", budget, ran, plans);
+        break;
+      }
+    }
+    const std::uint64_t seed = seed_base + static_cast<std::uint64_t>(i);
+    const auto plan = ChaosRunner::sample_plan(seed);
+    auto result = ChaosRunner::run_plan(plan);
+    ++ran;
+    if (check_determinism) {
+      const auto replay = ChaosRunner::run_plan(plan);
+      if (replay.fingerprint != result.fingerprint) {
+        result.failures.push_back("nondeterministic: fingerprint " +
+                                  std::to_string(result.fingerprint) + " vs replay " +
+                                  std::to_string(replay.fingerprint));
+      }
+    }
+    if (!result.ok()) {
+      ++failed;
+      std::printf("%s\n%s\n", plan.describe().c_str(), result.describe().c_str());
+    } else if (verbose) {
+      std::printf("%s\n", result.describe().c_str());
+    }
+  }
+  std::printf("chaos: %d/%d plans passed (base seed %llu)\n", ran - failed, ran,
+              static_cast<unsigned long long>(seed_base));
+  return failed == 0 ? 0 : 1;
+}
