@@ -6,8 +6,12 @@
 #pragma once
 
 #include <cstdio>
+#include <fstream>
 #include <iostream>
+#include <sstream>
 #include <string>
+
+#include "common/error.h"
 
 #include "baselines/adjustment_cost.h"
 #include "common/log.h"
@@ -50,6 +54,54 @@ inline void print_header(const std::string& title, const std::string& note = "")
 }
 
 inline void print_table(const Table& table) { table.print(std::cout); }
+
+/// Stable decimal formatting for the BENCH_*.json sidecars: six significant
+/// digits, no locale, so committed baselines diff cleanly across machines.
+inline std::string json_number(double value) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.6g", value);
+  return buf;
+}
+
+/// Writes one BENCH_*.json sidecar (machine-readable counterpart of the
+/// ASCII table every bench prints). Throws on IO failure so CI can't upload
+/// a silently-empty artifact.
+inline void write_json_file(const std::string& path, const std::string& json) {
+  std::ofstream out(path);
+  require(out.good(), "bench: cannot open " + path);
+  out << json;
+  require(out.good(), "bench: short write to " + path);
+  std::printf("wrote %s\n", path.c_str());
+}
+
+/// Extracts the flat `"gate": { "slug": number, ... }` object a BENCH json
+/// carries for regression checks. Deliberately minimal: gates are written by
+/// write_json_file above, one "key": value pair per line.
+inline std::map<std::string, double> read_json_gate(const std::string& path) {
+  std::ifstream in(path);
+  require(in.good(), "bench: cannot read baseline " + path);
+  std::map<std::string, double> gate;
+  std::string line;
+  bool inside = false;
+  while (std::getline(in, line)) {
+    if (!inside) {
+      if (line.find("\"gate\"") != std::string::npos) inside = true;
+      continue;
+    }
+    if (line.find('}') != std::string::npos) break;
+    const auto open = line.find('"');
+    const auto close = line.find('"', open + 1);
+    const auto colon = line.find(':', close + 1);
+    if (open == std::string::npos || close == std::string::npos ||
+        colon == std::string::npos) {
+      continue;
+    }
+    gate[line.substr(open + 1, close - open - 1)] =
+        std::strtod(line.c_str() + colon + 1, nullptr);
+  }
+  require(!gate.empty(), "bench: no gate object in " + path);
+  return gate;
+}
 
 /// Worker-letter labels used by Fig 15 ("Models are denoted by A - E").
 inline const char* model_letter(const std::string& name) {

@@ -15,16 +15,18 @@ std::uint64_t fnv1a(std::span<const std::uint8_t> data) {
   return hash;
 }
 
-std::uint64_t Blob::quick_fingerprint() const {
+std::uint64_t quick_fingerprint(std::span<const std::uint8_t> data) {
   std::uint64_t h = 0xcbf29ce484222325ULL;
-  if (data_.empty()) return h;
-  const std::size_t stride = std::max<std::size_t>(1, data_.size() / 64);
-  for (std::size_t i = 0; i < data_.size(); i += stride) {
-    h ^= data_[i];
+  if (data.empty()) return h;
+  const std::size_t stride = std::max<std::size_t>(1, data.size() / 64);
+  for (std::size_t i = 0; i < data.size(); i += stride) {
+    h ^= data[i];
     h *= 0x100000001b3ULL;
   }
   return h;
 }
+
+std::uint64_t Blob::quick_fingerprint() const { return elan::quick_fingerprint(data_); }
 
 void Blob::fill_pattern(std::uint64_t seed) {
   std::uint64_t x = seed ^ 0x9e3779b97f4a7c15ULL;

@@ -17,6 +17,11 @@ namespace elan {
 /// FNV-1a 64-bit checksum.
 std::uint64_t fnv1a(std::span<const std::uint8_t> data);
 
+/// Cheap content fingerprint over a byte range: samples at most 64 bytes at a
+/// fixed stride. Hot paths (per-chunk replication verification) use this; a
+/// full fnv1a scan still guards final correctness.
+std::uint64_t quick_fingerprint(std::span<const std::uint8_t> data);
+
 class Blob {
  public:
   Blob() = default;

@@ -654,14 +654,123 @@ void ElasticJob::perform_adjustment(const AdjustmentPlan& plan) {
   }
 }
 
+// Live state of one chunk-pipelined replication. The canonical serialized
+// stream is produced once (all replicas are bit-identical); each destination
+// owns a receive buffer sized once up front, into which chunk slices land in
+// stream order. Relay transfers read out of the *peer's buffer*, not the
+// canonical stream, so a prefix-tracking bug corrupts the final checksum
+// instead of hiding.
+struct ElasticJob::ReplicationSession {
+  std::uint32_t num_chunks = 0;
+  std::shared_ptr<const std::vector<std::uint8_t>> stream;  // allocated once
+  std::uint64_t stream_checksum = 0;  // full FNV over the stream, computed once
+  struct Dest {
+    std::vector<std::uint8_t> buffer;
+    std::uint32_t verified = 0;  // chunks held == verified-prefix length
+    bool lost = false;           // source died mid-stream; resume pending
+    bool done = false;           // full stream checksummed and loaded
+  };
+  std::map<int, Dest> dests;
+  ReplicationStats stats;
+
+  /// Stored-byte range of `chunk`: the scaled stream is cut proportionally
+  /// into num_chunks slices (nominal chunk sizes time the schedule; slices
+  /// move the real bytes).
+  std::pair<std::size_t, std::size_t> slice(std::uint32_t chunk) const {
+    const std::size_t stored = stream->size();
+    return {stored * chunk / num_chunks, stored * (chunk + 1) / num_chunks};
+  }
+};
+
+void ElasticJob::schedule_chunk_round(const std::shared_ptr<ReplicationSession>& session,
+                                      const ChunkSchedule& schedule) {
+  const Seconds base = sim_.now();
+  for (const auto& t : schedule.transfers) {
+    sim_.schedule(t.finish(), [this, session, t, base] {
+      apply_replication_chunk(session, t, base);
+    });
+  }
+}
+
+void ElasticJob::apply_replication_chunk(const std::shared_ptr<ReplicationSession>& session,
+                                         const ChunkTransfer& transfer, Seconds round_base) {
+  auto dit = session->dests.find(transfer.dest_worker);
+  if (dit == session->dests.end()) return;
+  auto& dest = dit->second;
+  if (dest.done || dest.lost) return;
+  auto dst = joining_.find(transfer.dest_worker);
+  if (dst == joining_.end() || dst->second->state() == WorkerState::kStopped) {
+    dest.lost = true;  // the destination itself died — a failed join
+    return;
+  }
+  ELAN_DCHECK(dest.verified == transfer.chunk, "chunk replication: out-of-order delivery");
+
+  // Resolve the source bytes: a replica streams from the canonical serialized
+  // state; a relay destination serves out of its own verified prefix.
+  std::span<const std::uint8_t> source_bytes;
+  bool from_relay = false;
+  if (auto src = workers_.find(transfer.source_worker);
+      src != workers_.end() && src->second->state() != WorkerState::kStopped) {
+    source_bytes = *session->stream;
+  } else if (auto peer = session->dests.find(transfer.source_worker);
+             peer != session->dests.end() && peer->second.verified > transfer.chunk &&
+             joining_.count(transfer.source_worker) &&
+             joining_.at(transfer.source_worker)->state() != WorkerState::kStopped) {
+    source_bytes = peer->second.buffer;
+    from_relay = true;
+  } else {
+    // The source fail-stopped (or, for a relay, its prefix died with it):
+    // everything up to `verified` stays good; the suffix is re-planned when
+    // this round's window closes.
+    dest.lost = true;
+    if (obs::Tracer::enabled()) {
+      obs::Tracer::instance().instant(
+          "fault", "chunk_source_lost",
+          "{\"src\":" + std::to_string(transfer.source_worker) +
+              ",\"dst\":" + std::to_string(transfer.dest_worker) +
+              ",\"chunk\":" + std::to_string(transfer.chunk) + "}");
+    }
+    return;
+  }
+
+  const auto [begin, end] = session->slice(transfer.chunk);
+  std::copy(source_bytes.begin() + static_cast<std::ptrdiff_t>(begin),
+            source_bytes.begin() + static_cast<std::ptrdiff_t>(end),
+            dest.buffer.begin() + static_cast<std::ptrdiff_t>(begin));
+  // Per-chunk integrity: a sampled fingerprint on the hot path (the full FNV
+  // scan per transfer the old executor paid is now one scan per destination,
+  // at completion). Sanitize/debug builds keep the full per-chunk scan.
+  const auto src_slice = source_bytes.subspan(begin, end - begin);
+  const auto dst_slice = std::span<const std::uint8_t>(dest.buffer).subspan(begin, end - begin);
+  ELAN_CHECK(quick_fingerprint(dst_slice) == quick_fingerprint(src_slice),
+             "replication chunk fingerprint mismatch");
+#if defined(ELAN_SANITIZE_BUILD) || !defined(NDEBUG)
+  ELAN_CHECK(fnv1a(dst_slice) == fnv1a(src_slice), "replication chunk checksum mismatch");
+#endif
+  ++dest.verified;
+  ++session->stats.chunks_copied;
+  if (from_relay) ++session->stats.chunks_relayed;
+
+  if (obs::Tracer::enabled()) {
+    obs::Tracer::instance().complete(
+        "replication", "chunk", (round_base + transfer.start) * 1e6, transfer.duration * 1e6,
+        "{\"src\":" + std::to_string(transfer.source_worker) +
+            ",\"dst\":" + std::to_string(transfer.dest_worker) +
+            ",\"chunk\":" + std::to_string(transfer.chunk) + ",\"link\":\"" +
+            obs::json_escape(topo::to_string(transfer.level)) +
+            "\",\"relay\":" + (transfer.relay ? "true" : "false") + "}",
+        static_cast<std::uint64_t>(transfer.dest_worker));
+  }
+}
+
 void ElasticJob::execute_elan_adjustment(AdjustmentRecord record, const AdjustmentPlan& plan) {
   const int workers_after = num_workers() + static_cast<int>(plan.join.size()) -
                             static_cast<int>(plan.leave.size());
   const auto decision = hybrid_.decide(num_workers(), total_batch_, workers_after);
 
-  // Step 4 (Fig 2): concurrent IO-free state replication.
+  // Step 4 (Fig 2): concurrent IO-free state replication, chunk-pipelined.
   Seconds replication_time = 0;
-  std::map<int, int> sources;  // destination -> source, for mid-transfer re-planning
+  std::shared_ptr<ReplicationSession> session;
   if (!plan.join.empty()) {
     ReplicationRequest request;
     for (const auto& [id, w] : workers_) request.existing.emplace(id, w->gpu());
@@ -669,40 +778,47 @@ void ElasticJob::execute_elan_adjustment(AdjustmentRecord record, const Adjustme
     const auto& any_worker = *workers_.begin()->second;
     request.gpu_state_bytes = any_worker.gpu_state_bytes();
     request.cpu_state_bytes = any_worker.cpu_state_bytes();
-    const auto rep_plan = planner_.plan(request);
-    replication_time = rep_plan.total_time;
+    ChunkPlanOptions chunk_options;
+    chunk_options.chunk_bytes = config_.replication_chunk_bytes;
+    chunk_options.relay_sources = config_.replication_relay;
+    const auto schedule = planner_.chunk_plan(request, chunk_options);
+    replication_time = schedule.total_time;
+
+    session = std::make_shared<ReplicationSession>();
+    session->num_chunks = schedule.num_chunks;
+    session->stream = std::make_shared<const std::vector<std::uint8_t>>(
+        any_worker.hooks().save_all().serialize());
+    session->stream_checksum = fnv1a(*session->stream);
+    session->stats.num_chunks = schedule.num_chunks;
+    for (const auto& [id, gpu] : plan.join) {
+      session->dests[id].buffer.assign(session->stream->size(), 0);
+    }
+    schedule_chunk_round(session, schedule);
 
     if (obs::Tracer::enabled()) {
-      // One sim-time span per planned transfer, laid out on the destination
-      // worker's tid lane. Transfers over distinct links overlap — exactly
-      // the concurrency §IV-3 claims over serial replication.
+      // One aggregated sim-time span per destination (first chunk start to
+      // completion), laid out on the destination worker's tid lane: streams
+      // over distinct links overlap — the concurrency §IV-3 claims over
+      // serial replication — while the per-chunk spans above show the
+      // interleaving inside each stream.
       const Seconds base = sim_.now();
       auto& tracer = obs::Tracer::instance();
-      for (const auto& t : rep_plan.transfers) {
+      for (const auto& [dest, gpu] : request.joining) {
+        Seconds first = replication_time;
+        int source = -1;
+        for (const auto& t : schedule.transfers) {
+          if (t.dest_worker != dest) continue;
+          if (t.chunk == 0) source = t.source_worker;
+          first = std::min(first, t.start);
+        }
         tracer.complete(
-            "replication", "transfer", (base + t.start) * 1e6, t.duration() * 1e6,
-            "{\"src\":" + std::to_string(t.source_worker) +
-                ",\"dst\":" + std::to_string(t.dest_worker) + ",\"link\":\"" +
-                obs::json_escape(topo::to_string(t.level)) +
-                "\",\"gpu_bytes\":" + std::to_string(request.gpu_state_bytes) + "}",
-            static_cast<std::uint64_t>(t.dest_worker));
+            "replication", "transfer", (base + first) * 1e6,
+            (schedule.completion.at(dest) - first) * 1e6,
+            "{\"src\":" + std::to_string(source) + ",\"dst\":" + std::to_string(dest) +
+                ",\"chunks\":" + std::to_string(schedule.num_chunks) +
+                ",\"gpu_bytes\":" + std::to_string(request.gpu_state_bytes) + "}",
+            static_cast<std::uint64_t>(dest));
       }
-    }
-
-    // Move the actual bytes along the planned source->destination pairs. A
-    // destination that already died mid-launch is skipped here and handled
-    // as a failed join when the adjustment completes.
-    for (const auto& t : rep_plan.transfers) {
-      auto src = workers_.find(t.source_worker);
-      ELAN_CHECK(src != workers_.end(), "replication source vanished");
-      auto dst = joining_.find(t.dest_worker);
-      if (dst == joining_.end() || dst->second->state() == WorkerState::kStopped) {
-        log_warn() << config_.job_id << ": replication destination " << t.dest_worker
-                   << " died before the transfer; skipping";
-        continue;
-      }
-      dst->second->hooks().load_all(src->second->hooks().save_all());
-      sources[t.dest_worker] = t.source_worker;
     }
   }
   record.breakdown.replication = replication_time;
@@ -717,70 +833,95 @@ void ElasticJob::execute_elan_adjustment(AdjustmentRecord record, const Adjustme
   record.breakdown.repartition = repartition_cost();
 
   sim_.schedule(replication_time, [this, record = std::move(record), plan, decision,
-                                   sources = std::move(sources)]() mutable {
+                                   session = std::move(session)]() mutable {
     complete_elan_replication(std::move(record), std::move(plan), decision,
-                              std::move(sources));
+                              std::move(session));
   });
 }
 
 void ElasticJob::complete_elan_replication(AdjustmentRecord record, AdjustmentPlan plan,
                                            ScalingDecision decision,
-                                           std::map<int, int> sources) {
-  // A source that fail-stopped inside the transfer window truncated its
-  // streams: every live destination it was feeding must redo the copy from a
-  // surviving replica (all replicas are bit-identical, so any survivor is a
-  // valid source).
-  std::vector<int> redo;
-  for (const auto& [dest, source] : sources) {
-    auto dst = joining_.find(dest);
-    if (dst == joining_.end() || dst->second->state() == WorkerState::kStopped) {
-      continue;  // the destination itself died — a failed join, nothing to redo
-    }
-    auto src = workers_.find(source);
-    if (src == workers_.end() || src->second->state() == WorkerState::kStopped) {
-      redo.push_back(dest);
+                                           std::shared_ptr<ReplicationSession> session) {
+  // Destinations holding the full verified stream finalise: one full FNV
+  // checksum proves byte identity with the canonical stream (the per-chunk
+  // hot path only sampled), then the state loads into the worker's hooks.
+  // Destinations whose source fail-stopped mid-stream kept their verified
+  // prefix; only the missing suffix is re-planned, from any surviving
+  // replica — including joiners that already completed this round.
+  std::vector<int> resume;
+  if (session) {
+    for (auto& [dest_id, dest] : session->dests) {
+      if (dest.done) continue;
+      auto dst = joining_.find(dest_id);
+      if (dst == joining_.end() || dst->second->state() == WorkerState::kStopped) {
+        continue;  // the destination itself died — a failed join, nothing to redo
+      }
+      if (dest.verified >= session->num_chunks) {
+        ELAN_CHECK(fnv1a(dest.buffer) == session->stream_checksum,
+                   "replicated state differs from the canonical stream");
+        dst->second->hooks().load_all(StateSnapshot::deserialize(dest.buffer));
+        dest.done = true;
+      } else {
+        resume.push_back(dest_id);
+      }
     }
   }
 
-  if (!redo.empty()) {
+  if (!resume.empty()) {
     ReplicationRequest request;
     for (const auto& [id, w] : workers_) {
       if (w->state() != WorkerState::kStopped) request.existing.emplace(id, w->gpu());
     }
+    for (const auto& [id, dest] : session->dests) {
+      if (!dest.done) continue;
+      auto jt = joining_.find(id);
+      if (jt != joining_.end() && jt->second->state() != WorkerState::kStopped) {
+        request.existing.emplace(id, jt->second->gpu());
+      }
+    }
     ELAN_CHECK(!request.existing.empty(), "replication re-plan: no surviving replica");
-    std::map<int, int> redo_sources;
-    for (int dest : redo) request.joining.emplace(dest, joining_.at(dest)->gpu());
-    const auto& survivor = *workers_.at(request.existing.begin()->first);
+    ChunkPlanOptions chunk_options;
+    chunk_options.chunk_bytes = config_.replication_chunk_bytes;
+    chunk_options.relay_sources = config_.replication_relay;
+    std::uint32_t kept = 0;
+    for (int dest_id : resume) {
+      auto& dest = session->dests.at(dest_id);
+      request.joining.emplace(dest_id, joining_.at(dest_id)->gpu());
+      chunk_options.verified[dest_id] = dest.verified;
+      kept += dest.verified;
+      dest.lost = false;
+    }
+    const int first_source = request.existing.begin()->first;
+    const auto& survivor = workers_.count(first_source) ? *workers_.at(first_source)
+                                                        : *joining_.at(first_source);
     request.gpu_state_bytes = survivor.gpu_state_bytes();
     request.cpu_state_bytes = survivor.cpu_state_bytes();
-    const auto redo_plan = planner_.plan(request);
-    for (const auto& t : redo_plan.transfers) {
-      auto src = workers_.find(t.source_worker);
-      ELAN_CHECK(src != workers_.end(), "replication re-plan source vanished");
-      auto dst = joining_.find(t.dest_worker);
-      if (dst == joining_.end() || dst->second->state() == WorkerState::kStopped) continue;
-      dst->second->hooks().load_all(src->second->hooks().save_all());
-      redo_sources[t.dest_worker] = t.source_worker;
-    }
-    record.breakdown.replication += redo_plan.total_time;
-    log_warn() << config_.job_id << ": replication source died mid-transfer; re-copying "
-               << redo.size() << " destination(s) (+" << redo_plan.total_time << "s)";
+    const auto redo = planner_.chunk_plan(request, chunk_options);
+    ++session->stats.replans;
+    session->stats.chunks_resumed += kept;
+    record.breakdown.replication += redo.total_time;
+    log_warn() << config_.job_id << ": replication source died mid-transfer; resuming "
+               << resume.size() << " destination(s) from " << kept
+               << " verified chunk(s) (+" << redo.total_time << "s)";
     if (obs::Tracer::enabled()) {
       obs::Tracer::instance().instant(
           "fault", "replication_replanned",
-          "{\"destinations\":" + std::to_string(redo.size()) +
-              ",\"extra_seconds\":" + std::to_string(redo_plan.total_time) + "}");
+          "{\"destinations\":" + std::to_string(resume.size()) +
+              ",\"resumed_chunks\":" + std::to_string(kept) +
+              ",\"extra_seconds\":" + std::to_string(redo.total_time) + "}");
     }
-    // The redo round has its own window and can itself lose a source.
-    sim_.schedule(redo_plan.total_time,
+    // The resume round has its own window and can itself lose a source.
+    schedule_chunk_round(session, redo);
+    sim_.schedule(redo.total_time,
                   [this, record = std::move(record), plan = std::move(plan), decision,
-                   redo_sources = std::move(redo_sources)]() mutable {
+                   session = std::move(session)]() mutable {
       complete_elan_replication(std::move(record), std::move(plan), decision,
-                                std::move(redo_sources));
+                                std::move(session));
     });
     return;
   }
 
+  if (session) record.replication_stats = session->stats;
   sim_.schedule(record.breakdown.reconstruct + record.breakdown.repartition,
                 [this, record = std::move(record), plan = std::move(plan),
                  decision]() mutable {

@@ -84,6 +84,13 @@ struct JobConfig {
   /// re-sending the request (same request id; the AM replays its cached
   /// verdict for duplicates). Covers the reply being lost in an AM crash.
   Seconds adjust_reply_timeout = 2.0;
+  /// Replication data-plane chunk size; 0 uses ELAN_REPL_CHUNK_BYTES (4 MiB
+  /// default). Whole-blob behaviour is the degenerate single-chunk schedule
+  /// (set this >= the model's GPU state bytes).
+  Bytes replication_chunk_bytes = 0;
+  /// Relay pipelining: a joining worker serves its verified chunk prefix to
+  /// later joiners (§IV-3 extended into a transfer tree).
+  bool replication_relay = true;
   std::uint64_t seed = 1;
 };
 
@@ -104,6 +111,18 @@ struct AdjustmentBreakdown {
   }
 };
 
+/// Chunk data-plane statistics of one adjustment's replication (Elan
+/// mechanism only). The fault-regression suite pins these to prove a
+/// mid-transfer source death resumes from the verified prefix instead of
+/// re-copying whole blobs.
+struct ReplicationStats {
+  std::uint32_t num_chunks = 0;      // chunks in the state stream
+  std::uint32_t chunks_copied = 0;   // chunk copies applied, across all rounds
+  std::uint32_t chunks_relayed = 0;  // of which served by a joining destination
+  std::uint32_t replans = 0;         // source-death resume rounds
+  std::uint32_t chunks_resumed = 0;  // verified chunks carried across re-plans
+};
+
 struct AdjustmentRecord {
   AdjustmentType type{};
   std::uint64_t plan_version = 0;
@@ -116,6 +135,7 @@ struct AdjustmentRecord {
   Seconds started_at = 0;    // when training paused for the adjustment
   Seconds completed_at = 0;  // when training resumed
   AdjustmentBreakdown breakdown;
+  ReplicationStats replication_stats;
   /// The paper's Fig 15 metric: how long training was paused.
   Seconds pause_time() const { return completed_at - started_at; }
   /// End-to-end latency seen by the scheduler.
@@ -349,12 +369,28 @@ class ElasticJob {
   void perform_adjustment(const AdjustmentPlan& plan);
   void execute_elan_adjustment(AdjustmentRecord record, const AdjustmentPlan& plan);
   void execute_snr_adjustment(AdjustmentRecord record, const AdjustmentPlan& plan);
-  /// Replication completion: if a transfer's source died mid-transfer, the
-  /// affected destinations are re-planned from surviving replicas and the
-  /// adjustment extends by the re-plan's makespan (recursing until a round
-  /// survives its own window).
+  /// Live state of one chunk-pipelined replication (job.cpp): the canonical
+  /// serialized stream (allocated once), per-destination receive buffers and
+  /// verified-prefix counters, and the running ReplicationStats.
+  struct ReplicationSession;
+  /// Schedules one round's chunk-arrival events against the simulator.
+  void schedule_chunk_round(const std::shared_ptr<ReplicationSession>& session,
+                            const ChunkSchedule& schedule);
+  /// One chunk landed: verify it against the source bytes (quick fingerprint
+  /// on the hot path, full FNV under sanitize/debug builds) and extend the
+  /// destination's verified prefix — or mark the destination for resume if
+  /// the source died mid-stream.
+  void apply_replication_chunk(const std::shared_ptr<ReplicationSession>& session,
+                               const ChunkTransfer& transfer, Seconds round_base);
+  /// Replication round completion: destinations with a full verified stream
+  /// are checksummed (one full FNV against the canonical stream) and loaded;
+  /// destinations that lost their source mid-stream get the missing *suffix*
+  /// re-planned from survivors — including fully replicated joiners — and the
+  /// adjustment extends by the resume round's makespan (recursing until a
+  /// round survives its own window).
   void complete_elan_replication(AdjustmentRecord record, AdjustmentPlan plan,
-                                 ScalingDecision decision, std::map<int, int> sources);
+                                 ScalingDecision decision,
+                                 std::shared_ptr<ReplicationSession> session);
   void finish_adjustment(AdjustmentRecord record, const AdjustmentPlan& plan,
                          double batch_factor, int new_total_batch);
   std::uint64_t gradient_seed(const data::SampleRange& range) const;

@@ -60,6 +60,73 @@ struct ReplicationRequest {
   Bytes cpu_state_bytes = 0;
 };
 
+// --- Chunk-granular data plane -----------------------------------------------
+//
+// The whole-blob plan above moves each destination's state as one atomic
+// transfer, so two transfers contending on a shared link (one QPI, one NIC)
+// head-of-line block each other for a full blob time, and a freshly
+// replicated joiner contributes nothing while later joiners still wait. The
+// chunk schedule splits the state stream into fixed-size chunks and assigns
+// every (destination, chunk) pair its own source, start and duration:
+//
+//   - contending transfers interleave chunk-by-chunk on the shared resource
+//     instead of serialising wholesale;
+//   - delivery per destination is strictly in stream order, so the received
+//     chunks always form a *verified prefix* — which makes a destination an
+//     eligible source for exactly that prefix (relay/tree pipelining: 1->N
+//     fan-out drops from N*T toward T + (N-1)*chunk);
+//   - a resume after a mid-transfer source death re-plans only the missing
+//     suffix (ChunkPlanOptions::verified).
+//
+// Endpoints are full duplex (a relay receives its suffix while serving its
+// prefix); each endpoint issues at most one outgoing and one incoming chunk
+// at a time, and shared physical resources carry one chunk at a time.
+
+/// Chunk size used when ChunkPlanOptions::chunk_bytes == 0: the
+/// ELAN_REPL_CHUNK_BYTES environment variable, or 4 MiB.
+Bytes default_replication_chunk_bytes();
+
+struct ChunkTransfer {
+  int source_worker = -1;
+  int dest_worker = -1;
+  topo::GpuId source_gpu = -1;
+  topo::GpuId dest_gpu = -1;
+  topo::LinkLevel level = topo::LinkLevel::kL1;
+  std::uint32_t chunk = 0;  // index into the chunked state stream
+  Bytes bytes = 0;          // nominal payload of this chunk
+  bool relay = false;       // source is a joining destination serving its prefix
+  Seconds start = 0;
+  Seconds duration = 0;
+  Seconds finish() const { return start + duration; }
+};
+
+struct ChunkSchedule {
+  Bytes chunk_bytes = 0;
+  std::uint32_t num_chunks = 0;
+  /// Ascending (start, dest, chunk); per destination the chunk indices are
+  /// strictly in order (the prefix property executors and relays rely on).
+  std::vector<ChunkTransfer> transfers;
+  /// Makespan (includes the overlapped CPU-state transfer).
+  Seconds total_time = 0;
+  /// Sum of per-chunk durations (what a serial executor would pay).
+  Seconds serial_time = 0;
+  /// Control-network CPU-state transfer, overlapped with the GPU chunks.
+  Seconds cpu_time = 0;
+  /// Per-destination completion time (last chunk verified, CPU state in).
+  std::map<int, Seconds> completion;
+};
+
+struct ChunkPlanOptions {
+  /// Chunk size; 0 uses default_replication_chunk_bytes().
+  Bytes chunk_bytes = 0;
+  /// Let destinations serve their verified prefix onward (kElan only). Off,
+  /// the schedule is the whole-blob plan cut into chunks.
+  bool relay_sources = true;
+  /// Resume after a source death: chunks each destination already holds.
+  /// Destinations listed here skip the (already delivered) CPU-state copy.
+  std::map<int, std::uint32_t> verified;
+};
+
 /// Planner strategies. kElan is the paper's design; the others are ablation
 /// baselines quantifying what each ingredient buys (bench/ablation_replication).
 enum class ReplicationStrategy {
@@ -80,6 +147,13 @@ class ReplicationPlanner {
   ReplicationStrategy strategy() const { return strategy_; }
 
   ReplicationPlan plan(const ReplicationRequest& request) const;
+
+  /// Chunk-granular, work-conserving schedule (see the data-plane comment
+  /// above). With relay off and chunk_bytes >= gpu_state_bytes this
+  /// degenerates to plan(): one chunk per destination, same sources, same
+  /// starts, same makespan.
+  ChunkSchedule chunk_plan(const ReplicationRequest& request,
+                           const ChunkPlanOptions& options = {}) const;
 
  private:
   const topo::Topology* topology_;

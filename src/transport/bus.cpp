@@ -125,7 +125,7 @@ void ReliableEndpoint::restart() {
 }
 
 MessageId ReliableEndpoint::send(const std::string& to, const std::string& type,
-                                 std::vector<std::uint8_t> payload) {
+                                 Payload payload) {
   MutexLock lock(mu_);
   require(alive_, "ReliableEndpoint::send on dead endpoint " + name_);
   Message msg;

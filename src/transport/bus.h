@@ -160,9 +160,10 @@ class ReliableEndpoint {
 
   const std::string& name() const { return name_; }
 
-  /// Sends reliably: retries until acked or max_retries exceeded.
-  MessageId send(const std::string& to, const std::string& type,
-                 std::vector<std::uint8_t> payload = {});
+  /// Sends reliably: retries until acked or max_retries exceeded. The
+  /// payload is wrapped into shared ownership here, once; retransmits reuse
+  /// the same buffer.
+  MessageId send(const std::string& to, const std::string& type, Payload payload = {});
 
   /// Detach from the bus (simulates process death); pending retries stop.
   void shutdown();

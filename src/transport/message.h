@@ -3,7 +3,8 @@
 
 #include <cstdint>
 #include <string>
-#include <vector>
+
+#include "transport/payload.h"
 
 namespace elan::transport {
 
@@ -15,8 +16,10 @@ struct Message {
   MessageId id = 0;
   std::string from;
   std::string to;
-  std::string type;                   // application-level tag, e.g. "report"
-  std::vector<std::uint8_t> payload;  // BinaryWriter-encoded body
+  std::string type;  // application-level tag, e.g. "report"
+  /// BinaryWriter-encoded body, held by shared ownership: copying a Message
+  /// (bus enqueue, the retransmit buffer) never copies the bytes.
+  Payload payload;
   bool is_ack = false;
   MessageId ack_of = 0;
 };

@@ -1,0 +1,65 @@
+// Zero-copy message payload.
+//
+// Replication chunks ride the same message fabric as the control plane, so a
+// payload must be able to carry megabytes without being duplicated per hop.
+// The byte buffer is wrapped into shared ownership exactly once, at send
+// time; every step after that — bus admission, the retransmit buffer a
+// ReliableEndpoint keeps until the ack, delivery into the handler — copies
+// only the handle. `buffer_allocations()` counts the wraps, which is what the
+// zero-copy regression test pins: one non-empty payload traversing
+// bus -> endpoint -> handler must allocate exactly once.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <initializer_list>
+#include <memory>
+#include <span>
+#include <vector>
+
+namespace elan::transport {
+
+class Payload {
+ public:
+  Payload() = default;
+
+  /// Implicit on purpose: call sites keep building std::vector bodies
+  /// (BinaryWriter output) and hand them over by move.
+  Payload(std::vector<std::uint8_t> bytes) {  // NOLINT(google-explicit-constructor)
+    if (!bytes.empty()) {
+      data_ = std::make_shared<const std::vector<std::uint8_t>>(std::move(bytes));
+      allocations_.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+  Payload(std::initializer_list<std::uint8_t> bytes)  // NOLINT(google-explicit-constructor)
+      : Payload(std::vector<std::uint8_t>(bytes)) {}
+
+  std::size_t size() const { return data_ ? data_->size() : 0; }
+  bool empty() const { return size() == 0; }
+  const std::uint8_t* data() const { return data_ ? data_->data() : nullptr; }
+  std::uint8_t operator[](std::size_t i) const { return (*data_)[i]; }
+  const std::uint8_t* begin() const { return data(); }
+  const std::uint8_t* end() const { return data() + size(); }
+
+  void assign(std::size_t n, std::uint8_t value) {
+    *this = Payload(std::vector<std::uint8_t>(n, value));
+  }
+
+  /// The deserializers all take spans; empty payloads yield an empty span.
+  operator std::span<const std::uint8_t>() const {  // NOLINT(google-explicit-constructor)
+    return data_ ? std::span<const std::uint8_t>(*data_)
+                 : std::span<const std::uint8_t>();
+  }
+
+  /// Process-wide count of byte buffers wrapped so far. Handle copies (per
+  /// hop, per retransmit) do not count — the regression guard asserts that.
+  static std::uint64_t buffer_allocations() {
+    return allocations_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::shared_ptr<const std::vector<std::uint8_t>> data_;
+  static inline std::atomic<std::uint64_t> allocations_{0};
+};
+
+}  // namespace elan::transport

@@ -293,6 +293,56 @@ TEST_F(FaultRegression, ReplicationSourceDeathMidTransferReplans) {
   EXPECT_GE(result.adjustments_completed, 1);
 }
 
+// R5 (chunk data plane). A replication source killed mid-chunk-stream: the
+// re-plan must resume interrupted destinations from their verified chunk
+// prefix — chunks_resumed > 0 — instead of restarting from byte zero, and
+// the finished replicas must still pass the full-state checksum.
+TEST_F(FaultRegression, MidChunkSourceKillResumesFromVerifiedPrefix) {
+  sim::Simulator sim;
+  topo::Topology topology{topo::TopologySpec{}};
+  topo::BandwidthModel bandwidth;
+  storage::SimFilesystem fs;
+  transport::MessageBus bus{sim, bandwidth};
+  transport::KvStore kv{sim};
+
+  JobConfig config;
+  config.model = train::mobilenet_v2_cifar();  // ~28 MiB GPU state: 7 chunks
+  config.initial_workers = 2;
+  config.initial_total_batch = 64;
+  config.worker_params.start_mean = 1.0;
+  config.worker_params.start_stddev = 0.2;
+  ElasticJob job(sim, topology, bandwidth, fs, bus, kv, std::move(config));
+  job.stop_after_iterations(100000);
+
+  FaultInjector injector(sim, bus, job);
+  FaultPlan faults;
+  FaultEvent mid;
+  mid.kind = FaultKind::kKillMidReplication;
+  mid.at = 0.0;
+  mid.frac = 0.5;  // mid-stream: chunks verified on both sides of the kill
+  faults.events.push_back(mid);
+  injector.arm(faults);
+
+  sim.schedule(2.0, [&] { job.request_scale_out({2, 3, 4, 5}); });
+  sim.schedule(20.0, [&] {
+    if (job.running()) job.stop();
+  });
+  job.start();
+  ASSERT_TRUE(sim.run_bounded(5'000'000)) << "run did not drain";
+
+  EXPECT_EQ(injector.kills(), 1);
+  ASSERT_GE(job.adjustments().size(), 1u);
+  const auto& stats = job.adjustments().front().replication_stats;
+  EXPECT_GT(stats.num_chunks, 1u);
+  EXPECT_GE(stats.replans, 1u) << "source death did not trigger a re-plan";
+  EXPECT_GT(stats.chunks_resumed, 0u)
+      << "destinations restarted from byte zero instead of the verified prefix";
+  // The interrupted destinations received their suffix without re-copying
+  // everything: total applied chunks stay below two full copies per joiner.
+  EXPECT_LT(stats.chunks_copied, 2u * 4u * stats.num_chunks);
+  EXPECT_TRUE(job.consistent());
+}
+
 // R6. A joiner that never reports must be evicted; before the report-timeout
 // hardening the AM waited in WaitingReady forever and every later scale
 // request was rejected.

@@ -70,6 +70,44 @@ TEST(ElasticJob, ScaleOutAddsWorkersAndKeepsConsistency) {
   EXPECT_EQ(job->master().phase(), AmPhase::kSteady);
 }
 
+TEST(ElasticJob, ChunkedReplicationPipelinesAndStaysConsistent) {
+  // The replication data plane moves state in fixed-size chunks: joiners'
+  // buffers fill chunk-by-chunk (relaying verified prefixes onward), every
+  // destination passes the full-state checksum, and the adjustment record
+  // reports the chunk statistics.
+  JobFixture f;
+  auto job = f.make_job(f.config(2, 128));
+  job->stop_after_iterations(400);
+  job->start();
+  f.sim.schedule(1.0, [&] { job->request_scale_out({2, 3, 4, 5}); });
+  f.sim.run();
+  ASSERT_EQ(job->adjustments().size(), 1u);
+  const auto& stats = job->adjustments().front().replication_stats;
+  // ResNet-50's 195 MiB GPU state / 4 MiB default chunk.
+  EXPECT_EQ(stats.num_chunks, 49u);
+  // Four destinations, each receiving every chunk exactly once.
+  EXPECT_EQ(stats.chunks_copied, 4u * stats.num_chunks);
+  // Early joiners serve their verified prefix to later ones.
+  EXPECT_GT(stats.chunks_relayed, 0u);
+  EXPECT_EQ(stats.replans, 0u);
+  EXPECT_EQ(stats.chunks_resumed, 0u);
+  EXPECT_TRUE(job->consistent());
+}
+
+TEST(ElasticJob, ReplicationChunkSizeIsConfigurable) {
+  JobFixture f;
+  auto c = f.config(2, 128);
+  c.replication_chunk_bytes = 64_MiB;  // 195 MiB -> 4 chunks
+  auto job = f.make_job(std::move(c));
+  job->stop_after_iterations(400);
+  job->start();
+  f.sim.schedule(1.0, [&] { job->request_scale_out({2, 3}); });
+  f.sim.run();
+  ASSERT_EQ(job->adjustments().size(), 1u);
+  EXPECT_EQ(job->adjustments().front().replication_stats.num_chunks, 4u);
+  EXPECT_TRUE(job->consistent());
+}
+
 TEST(ElasticJob, ScaleOutPauseIsShort) {
   JobFixture f;
   auto job = f.make_job(f.config(4, 128));

@@ -190,6 +190,71 @@ TEST(ReliableEndpoint, ShutdownStopsRetries) {
 }
 
 // ---------------------------------------------------------------------------
+// Zero-copy payload transport
+// ---------------------------------------------------------------------------
+
+TEST(Payload, BufferIsAllocatedExactlyOnceEndToEnd) {
+  // The replication data plane's guarantee: a payload handed to
+  // ReliableEndpoint::send is allocated once and travels sender -> bus ->
+  // receiver -> handler by shared ownership. The exchange also carries an
+  // ack (empty payload) back to the sender — empty payloads never allocate,
+  // so the global buffer count moves by exactly one.
+  BusFixture f;
+  const std::uint8_t* delivered_data = nullptr;
+  std::size_t delivered_size = 0;
+  ReliableEndpoint a(f.bus, "a", [](const Message&) {});
+  ReliableEndpoint b(f.bus, "b", [&](const Message& m) {
+    delivered_data = m.payload.data();
+    delivered_size = m.payload.size();
+  });
+
+  std::vector<std::uint8_t> bytes(4096);
+  for (std::size_t i = 0; i < bytes.size(); ++i) {
+    bytes[i] = static_cast<std::uint8_t>(i);
+  }
+  const auto before = Payload::buffer_allocations();
+  Payload payload(std::move(bytes));
+  const std::uint8_t* original = payload.data();
+  a.send("b", "blob", std::move(payload));
+  f.sim.run();
+
+  EXPECT_EQ(Payload::buffer_allocations() - before, 1u);
+  ASSERT_EQ(delivered_size, 4096u);
+  // Pointer identity: the handler saw the very buffer the sender wrapped.
+  EXPECT_EQ(delivered_data, original);
+}
+
+TEST(Payload, RetransmissionsReuseTheSameBuffer) {
+  // Drops force resends; every transmission shares the one buffer instead
+  // of copying per attempt.
+  BusFixture f;
+  const std::uint8_t* delivered_data = nullptr;
+  ReliableEndpoint a(f.bus, "a", [](const Message&) {});
+  ReliableEndpoint b(f.bus, "b",
+                     [&](const Message& m) { delivered_data = m.payload.data(); });
+  f.bus.inject_drops("a", 2);
+
+  const auto before = Payload::buffer_allocations();
+  Payload payload(std::vector<std::uint8_t>(1024, 0x5a));
+  const std::uint8_t* original = payload.data();
+  a.send("b", "blob", std::move(payload));
+  f.sim.run();
+
+  EXPECT_GE(a.retries(), 2u);
+  EXPECT_EQ(Payload::buffer_allocations() - before, 1u);
+  EXPECT_EQ(delivered_data, original);
+}
+
+TEST(Payload, EmptyPayloadNeverAllocates) {
+  const auto before = Payload::buffer_allocations();
+  const Payload empty;
+  const Payload from_empty_vector{std::vector<std::uint8_t>{}};
+  EXPECT_TRUE(empty.empty());
+  EXPECT_TRUE(from_empty_vector.empty());
+  EXPECT_EQ(Payload::buffer_allocations(), before);
+}
+
+// ---------------------------------------------------------------------------
 // KV store (simulated etcd)
 // ---------------------------------------------------------------------------
 
