@@ -1,0 +1,86 @@
+#include "minidl/isa.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <string>
+
+#include "common/log.h"
+#include "common/sync.h"
+#include "minidl/kernels.h"
+
+namespace elan::minidl::isa {
+namespace {
+
+// -1 = unresolved; otherwise a Level. The fast path is one relaxed load.
+std::atomic<int> g_active{-1};
+Mutex g_resolve_mutex{"minidl_isa_resolve"};
+
+}  // namespace
+
+const char* name(Level level) {
+  switch (level) {
+    case Level::kScalar:
+      return "scalar";
+    case Level::kAvx2:
+      return "avx2";
+  }
+  return "?";
+}
+
+Level detect_hardware() {
+#if defined(__x86_64__) || defined(__i386__)
+  // __builtin_cpu_supports reads cpuid once (libgcc/compiler-rt cache it).
+  // The binary must also actually contain the intrinsics TU: a non-x86 or
+  // intrinsics-less build aliases avx2_kernel_ops() to the portable set, and
+  // claiming "avx2" while running portable code would make the logged
+  // dispatch choice a lie.
+  if (__builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma") &&
+      detail::avx2_kernels_compiled()) {
+    return Level::kAvx2;
+  }
+#endif
+  return Level::kScalar;
+}
+
+Level resolve(const char* override_value, Level hardware) {
+  if (override_value == nullptr || *override_value == '\0') return hardware;
+  const std::string v(override_value);
+  if (v == "scalar") return Level::kScalar;
+  if (v == "avx2") {
+    if (hardware == Level::kAvx2) return Level::kAvx2;
+    log_warn() << "ELAN_ISA=avx2 requested but this machine/build cannot run "
+                  "the AVX2 kernels; falling back to the portable path";
+    return Level::kScalar;
+  }
+  log_warn() << "ELAN_ISA=" << v << " not recognised (expected scalar|avx2); "
+             << "using auto-detected " << name(hardware);
+  return hardware;
+}
+
+Level active() {
+  int cached = g_active.load(std::memory_order_relaxed);
+  if (cached >= 0) return static_cast<Level>(cached);
+  MutexLock lock(g_resolve_mutex);
+  cached = g_active.load(std::memory_order_relaxed);
+  if (cached >= 0) return static_cast<Level>(cached);
+  const Level hardware = detect_hardware();
+  const char* env = std::getenv("ELAN_ISA");
+  const Level chosen = resolve(env, hardware);
+  log_info() << "minidl kernels: ISA dispatch -> " << name(chosen) << " (hardware "
+             << name(hardware) << (env != nullptr && *env != '\0' ? ", ELAN_ISA set" : "")
+             << ")";
+  g_active.store(static_cast<int>(chosen), std::memory_order_relaxed);
+  return chosen;
+}
+
+void reset_for_testing() { g_active.store(-1, std::memory_order_relaxed); }
+
+}  // namespace elan::minidl::isa
+
+namespace elan::minidl::detail {
+
+const KernelOps& kernel_ops() {
+  return isa::active() == isa::Level::kAvx2 ? avx2_kernel_ops() : portable_kernel_ops();
+}
+
+}  // namespace elan::minidl::detail

@@ -1,0 +1,46 @@
+// Runtime ISA dispatch for the minidl vector kernel backend
+// (KernelMode::kVector, see tensor.h and DESIGN.md §5g).
+//
+// The vector kernels are compiled twice: a portable fixed-width-lane TU
+// (kernels_portable.cpp, plain C++ the autovectoriser lowers to whatever the
+// baseline target offers) and an AVX2/FMA intrinsics TU (kernels_avx2.cpp,
+// built with -mavx2 -mfma). Which set runs is decided ONCE per process, from
+// cpuid, the first time a vector kernel is needed — never per call, never
+// per element. The decision is logged at info level exactly once so a run
+// can always answer "which ISA path am I on?" (README has the walkthrough).
+//
+// ELAN_ISA=scalar|avx2 overrides detection for testing: `scalar` forces the
+// portable TU everywhere (the CI fallback leg runs the whole suite this
+// way); `avx2` asserts the fast path and falls back with a warning when the
+// hardware or build cannot honour it.
+#pragma once
+
+namespace elan::minidl::isa {
+
+enum class Level {
+  kScalar = 0,  // portable fixed-width vector loops (always available)
+  kAvx2 = 1,    // AVX2 + FMA intrinsics TU
+};
+
+/// "scalar" / "avx2".
+const char* name(Level level);
+
+/// What this machine can execute AND this binary contains (cpuid gated by
+/// whether the AVX2 TU was actually compiled with intrinsics).
+Level detect_hardware();
+
+/// Pure resolution rule: `override_value` is the ELAN_ISA string (nullptr or
+/// empty = auto). Unknown values and unsatisfiable requests degrade to the
+/// best supported level with a warning. Exposed for direct unit testing.
+Level resolve(const char* override_value, Level hardware);
+
+/// The process-wide dispatch choice: resolve(getenv("ELAN_ISA"),
+/// detect_hardware()), cached after the first call, logged once at info
+/// level when first resolved.
+Level active();
+
+/// Drops the cached dispatch choice so the next active() re-reads ELAN_ISA
+/// and logs again. Tests only — real code must never flip ISA mid-run.
+void reset_for_testing();
+
+}  // namespace elan::minidl::isa

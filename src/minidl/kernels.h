@@ -1,0 +1,82 @@
+// Internal micro-kernel surface behind KernelMode::kVector (see tensor.h
+// and DESIGN.md §5g). tensor.cpp owns shapes, validation, packing and the
+// parallel_for outer tiling; the functions here are the innermost loops,
+// implemented twice — portable fixed-width lanes (kernels_portable.cpp) and
+// AVX2/FMA intrinsics (kernels_avx2.cpp) — and selected once per process by
+// the runtime ISA dispatcher (isa.h).
+//
+// Determinism contract (what makes kVector run-to-run and thread-count
+// deterministic):
+//   * Every kernel fixes the per-output-element operation sequence purely as
+//     a function of its arguments: GEMM accumulator chains run over k
+//     strictly ascending; dot products reduce their 8 lanes through a FIXED
+//     pairwise tree ((l0+l1)+(l2+l3)) + ((l4+l5)+(l6+l7)) and then fold the
+//     scalar k-tail in ascending order; elementwise kernels touch each
+//     element independently.
+//   * Nothing here depends on the thread count, the chunk a caller runs the
+//     kernel under, or any global state.
+// The AVX2 TU uses fused multiply-add in the GEMM/dot/axpy chains (one
+// rounding per term instead of two), so kVector results are NOT bit-equal
+// to kReference — they are pinned within kVectorMaxUlp ULPs (tensor.h).
+// Elementwise kernels (relu, add, scale, sgd_update, row_max) use unfused
+// ops in both TUs and ARE bit-identical to the reference kernels.
+#pragma once
+
+#include <cstddef>
+
+namespace elan::minidl::detail {
+
+/// B-panel width and micro-tile height of the register-blocked GEMM: the
+/// micro-kernel computes an 8 x kPanelWidth block of C per call ("8xN
+/// accumulator tile"), streaming one packed B panel.
+inline constexpr int kPanelWidth = 8;
+inline constexpr int kMicroRows = 8;
+
+struct KernelOps {
+  const char* name;
+
+  /// C[r][j] += sum_k a[r*a_row_stride + k*a_col_stride] * bp[k*kPanelWidth
+  /// + j] for r in [0,mr), j in [0,nr); k ascends per element. `bp` is a
+  /// packed B panel (kc rows of kPanelWidth floats, zero-padded past nr).
+  /// mr <= kMicroRows, nr <= kPanelWidth; the full 8x8 case is the hot
+  /// register-blocked micro-kernel, partial tiles take an edge path.
+  void (*gemm_panel)(int mr, int nr, int kc, const float* a,
+                     std::ptrdiff_t a_row_stride, std::ptrdiff_t a_col_stride,
+                     const float* bp, float* c, std::ptrdiff_t c_stride);
+
+  /// out[t] = dot(a, b[t]) over kc elements, for t in [0,nb), nb <= 8.
+  /// Vector chunks of 8 lanes (fixed-tree reduced), then the scalar tail.
+  void (*dot_rows)(int kc, const float* a, const float* const* b, int nb,
+                   float* out);
+
+  /// y[i] += alpha * x[i] (fused in the AVX2 TU — ULP-bounded, not exact).
+  void (*axpy)(std::size_t n, float alpha, const float* x, float* y);
+
+  // Elementwise kernels; bit-identical to the reference loops (unfused).
+  void (*add)(std::size_t n, const float* x, float* y);            // y += x
+  void (*scale)(std::size_t n, float s, float* y);                 // y *= s
+  void (*relu)(std::size_t n, float* y);                           // y = max(0,y)
+  void (*relu_bwd)(std::size_t n, const float* z, float* g);       // g = z>0 ? g : 0
+  /// v = momentum*v + g; p -= lr*v. Unfused, so the optimizer update stays
+  /// bit-identical to Mlp::sgd_step's original scalar loop.
+  void (*sgd_update)(std::size_t n, float lr, float momentum, const float* g,
+                     float* v, float* p);
+
+  /// Max over x[0..n) (n >= 1). Max is associative/commutative, so the lane
+  /// tree is exact: bit-identical to the sequential reference scan.
+  float (*row_max)(std::size_t n, const float* x);
+};
+
+/// The two implementations. avx2_kernel_ops() aliases the portable set when
+/// the TU was built without AVX2 intrinsics (non-x86 target).
+const KernelOps& portable_kernel_ops();
+const KernelOps& avx2_kernel_ops();
+
+/// True when avx2_kernel_ops() really is the intrinsics implementation.
+bool avx2_kernels_compiled();
+
+/// The dispatch choice for this process: isa::active() mapped to a table.
+/// One relaxed atomic load per *kernel call* (not per element).
+const KernelOps& kernel_ops();
+
+}  // namespace elan::minidl::detail

@@ -1,0 +1,194 @@
+// Portable fixed-width vector kernels — the always-available half of the
+// KernelMode::kVector backend (see kernels.h for the contract).
+//
+// "Fixed-width" means the loops are written over explicit 8-lane blocks
+// (kPanelWidth) with local lane arrays, which the autovectoriser lowers to
+// whatever the baseline target offers (SSE2 on x86-64, NEON on aarch64, …)
+// WITHOUT changing the arithmetic: this TU is compiled with
+// -ffp-contract=off (see src/CMakeLists.txt), so every multiply and add
+// rounds separately, exactly like the reference kernels. The lane structure
+// — not the instruction set — is what fixes the operation order, so results
+// here are identical no matter what the compiler vectorises.
+#include "minidl/kernels.h"
+
+#include <algorithm>
+#include <type_traits>
+
+namespace elan::minidl::detail {
+namespace {
+
+/// GCC/Clang generic vector type: a 4-lane float group, lowered by the
+/// compiler to whatever the baseline target offers (one SSE2 op on stock
+/// x86-64, scalar code elsewhere) without touching the arithmetic — lane l
+/// still sees exactly `acc[l] += av * bk[l]`, one separately-rounded
+/// multiply and add per k. A kPanelWidth-wide panel row is two of these.
+/// The explicit vector type exists because the plain-array spelling of the
+/// same loop trips GCC's SLP vectoriser into a shuffle-heavy gather form
+/// that loses to the tiled kernels.
+typedef float VecF4 __attribute__((vector_size(4 * sizeof(float))));
+typedef int VecI4 __attribute__((vector_size(4 * sizeof(int))));
+
+inline VecF4 splat4(float v) { return VecF4{v, v, v, v}; }
+
+inline VecF4 load4(const float* p) {
+  VecF4 r;
+  __builtin_memcpy(&r, p, sizeof r);
+  return r;
+}
+
+/// Accumulator rows live in registers: kRows <= 4 keeps the tile (8 xmm
+/// accumulators plus the shared B row) inside the 16 xmm registers of
+/// baseline x86-64 — an 8-row tile would spill and lose to the tiled
+/// kernels. Each row's chain is independent and ascending in k, so
+/// splitting the 8-row micro tile into two 4-row passes changes nothing per
+/// element. When the left operand is k-contiguous (a_col_stride == 1, the
+/// plain-matmul layout), four A values per row are pulled in with one
+/// vector load and broadcast from register via constant shuffles — the same
+/// numbers in the same order, minus three scalar loads per row per 4 k.
+template <int kRows>
+void gemm_rows_portable(int nr, int kc, const float* a, std::ptrdiff_t a_row_stride,
+                        std::ptrdiff_t a_col_stride, const float* bp, float* c,
+                        std::ptrdiff_t c_stride) {
+  VecF4 acc_lo[kRows] = {};
+  VecF4 acc_hi[kRows] = {};
+  int k = 0;
+  if (a_col_stride == 1) {
+    for (; k + 4 <= kc; k += 4) {
+      VecF4 av[kRows];
+      for (int r = 0; r < kRows; ++r) av[r] = load4(a + r * a_row_stride + k);
+      auto fuse_k = [&](int kk, auto lane) {
+        const float* bk = bp + static_cast<std::ptrdiff_t>(k + kk) * kPanelWidth;
+        const VecF4 b_lo = load4(bk);
+        const VecF4 b_hi = load4(bk + 4);
+        for (int r = 0; r < kRows; ++r) {
+          constexpr int kLane = decltype(lane)::value;
+          const VecF4 ar = __builtin_shuffle(av[r], VecI4{kLane, kLane, kLane, kLane});
+          acc_lo[r] += ar * b_lo;
+          acc_hi[r] += ar * b_hi;
+        }
+      };
+      fuse_k(0, std::integral_constant<int, 0>{});
+      fuse_k(1, std::integral_constant<int, 1>{});
+      fuse_k(2, std::integral_constant<int, 2>{});
+      fuse_k(3, std::integral_constant<int, 3>{});
+    }
+  }
+  for (; k < kc; ++k) {
+    const float* bk = bp + static_cast<std::ptrdiff_t>(k) * kPanelWidth;
+    const VecF4 b_lo = load4(bk);
+    const VecF4 b_hi = load4(bk + 4);
+    for (int r = 0; r < kRows; ++r) {
+      const VecF4 ar = splat4(a[r * a_row_stride + k * a_col_stride]);
+      acc_lo[r] += ar * b_lo;
+      acc_hi[r] += ar * b_hi;
+    }
+  }
+  for (int r = 0; r < kRows; ++r) {
+    float* crow = c + r * c_stride;
+    for (int j = 0; j < nr; ++j) {
+      crow[j] += j < 4 ? acc_lo[r][j] : acc_hi[r][j - 4];
+    }
+  }
+}
+
+void gemm_panel_portable(int mr, int nr, int kc, const float* a,
+                         std::ptrdiff_t a_row_stride, std::ptrdiff_t a_col_stride,
+                         const float* bp, float* c, std::ptrdiff_t c_stride) {
+  // All accumulator rows of a block advance through k together, so one panel
+  // row bp[k*8..] is loaded once per k for the whole block (the same reuse
+  // the intrinsics kernel gets from its ymm tile). Fixed-trip-count
+  // instantiations keep the accumulators in registers.
+  int r = 0;
+  for (; r + 4 <= mr; r += 4) {
+    gemm_rows_portable<4>(nr, kc, a + r * a_row_stride, a_row_stride, a_col_stride, bp,
+                          c + r * c_stride, c_stride);
+  }
+  switch (mr - r) {
+    case 3:
+      gemm_rows_portable<3>(nr, kc, a + r * a_row_stride, a_row_stride, a_col_stride,
+                            bp, c + r * c_stride, c_stride);
+      break;
+    case 2:
+      gemm_rows_portable<2>(nr, kc, a + r * a_row_stride, a_row_stride, a_col_stride,
+                            bp, c + r * c_stride, c_stride);
+      break;
+    case 1:
+      gemm_rows_portable<1>(nr, kc, a + r * a_row_stride, a_row_stride, a_col_stride,
+                            bp, c + r * c_stride, c_stride);
+      break;
+    default:
+      break;
+  }
+}
+
+void dot_rows_portable(int kc, const float* a, const float* const* b, int nb,
+                       float* out) {
+  for (int t = 0; t < nb; ++t) {
+    const float* bt = b[t];
+    VecF4 lanes_lo = {};
+    VecF4 lanes_hi = {};
+    int k = 0;
+    for (; k + kPanelWidth <= kc; k += kPanelWidth) {
+      lanes_lo += load4(a + k) * load4(bt + k);
+      lanes_hi += load4(a + k + 4) * load4(bt + k + 4);
+    }
+    // Fixed pairwise lane tree (see kernels.h); lanes 0-3 are the low half,
+    // lanes 4-7 the high half.
+    const float s01 = lanes_lo[0] + lanes_lo[1];
+    const float s23 = lanes_lo[2] + lanes_lo[3];
+    const float s45 = lanes_hi[0] + lanes_hi[1];
+    const float s67 = lanes_hi[2] + lanes_hi[3];
+    float sum = (s01 + s23) + (s45 + s67);
+    for (; k < kc; ++k) sum += a[k] * bt[k];
+    out[t] = sum;
+  }
+}
+
+void axpy_portable(std::size_t n, float alpha, const float* x, float* y) {
+  for (std::size_t i = 0; i < n; ++i) y[i] += alpha * x[i];
+}
+
+void add_portable(std::size_t n, const float* x, float* y) {
+  for (std::size_t i = 0; i < n; ++i) y[i] += x[i];
+}
+
+void scale_portable(std::size_t n, float s, float* y) {
+  for (std::size_t i = 0; i < n; ++i) y[i] *= s;
+}
+
+void relu_portable(std::size_t n, float* y) {
+  for (std::size_t i = 0; i < n; ++i) y[i] = std::max(0.0f, y[i]);
+}
+
+void relu_bwd_portable(std::size_t n, const float* z, float* g) {
+  for (std::size_t i = 0; i < n; ++i) {
+    if (z[i] <= 0.0f) g[i] = 0.0f;
+  }
+}
+
+void sgd_update_portable(std::size_t n, float lr, float momentum, const float* g,
+                         float* v, float* p) {
+  for (std::size_t i = 0; i < n; ++i) {
+    v[i] = momentum * v[i] + g[i];
+    p[i] -= lr * v[i];
+  }
+}
+
+float row_max_portable(std::size_t n, const float* x) {
+  float best = x[0];
+  for (std::size_t i = 1; i < n; ++i) best = std::max(best, x[i]);
+  return best;
+}
+
+}  // namespace
+
+const KernelOps& portable_kernel_ops() {
+  static const KernelOps ops{
+      "scalar",        gemm_panel_portable, dot_rows_portable, axpy_portable,
+      add_portable,    scale_portable,      relu_portable,     relu_bwd_portable,
+      sgd_update_portable, row_max_portable,
+  };
+  return ops;
+}
+
+}  // namespace elan::minidl::detail

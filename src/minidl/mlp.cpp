@@ -70,19 +70,12 @@ double Mlp::accuracy(const Tensor& x, const std::vector<int>& labels) {
 }
 
 void Mlp::sgd_step(float lr, float momentum) {
+  // The update runs through the kernel-mode dispatch (vectorised under
+  // kVector) but is bit-identical in every mode — see sgd_momentum_update.
   for (std::size_t l = 0; l < layers_.size(); ++l) {
     auto& layer = layers_[l];
-    auto step = [&](Tensor& param, Tensor& grad, Tensor& velocity) {
-      auto v = velocity.data();
-      auto g = grad.data();
-      auto p = param.data();
-      for (std::size_t i = 0; i < p.size(); ++i) {
-        v[i] = momentum * v[i] + g[i];
-        p[i] -= lr * v[i];
-      }
-    };
-    step(layer.weights, layer.grad_weights, velocity_w_[l]);
-    step(layer.bias, layer.grad_bias, velocity_b_[l]);
+    sgd_momentum_update(layer.weights, velocity_w_[l], layer.grad_weights, lr, momentum);
+    sgd_momentum_update(layer.bias, velocity_b_[l], layer.grad_bias, lr, momentum);
   }
 }
 

@@ -85,7 +85,7 @@ float DataParallelTrainer::step(int total_batch) {
   for (auto& [id, r] : replicas_) models.push_back(r.model.get());
   std::vector<float> losses(static_cast<std::size_t>(n), 0.0f);
   std::vector<std::vector<double>> grads(static_cast<std::size_t>(n));
-  const bool concurrent = kernel_mode() == KernelMode::kTiled;
+  const bool concurrent = kernel_mode() != KernelMode::kReference;
   auto replica_pass = [&](std::int64_t b, std::int64_t e) {
     ELAN_TRACE_SCOPE("trainer", "replica_pass");
     for (std::int64_t i = b; i < e; ++i) {

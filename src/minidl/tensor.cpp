@@ -3,14 +3,22 @@
 #include <algorithm>
 #include <atomic>
 #include <cmath>
+#include <cstring>
+#include <limits>
 
 #include "common/thread_pool.h"
+#include "minidl/kernels.h"
 
 namespace elan::minidl {
 
 Tensor::Tensor(int rows, int cols) : rows_(rows), cols_(cols) {
   require(rows > 0 && cols > 0, "Tensor: non-positive shape");
   data_.assign(static_cast<std::size_t>(rows) * static_cast<std::size_t>(cols), 0.0f);
+  // The vector kernels (and plain cache behaviour) rely on the aligned
+  // allocator actually delivering: catch a silently-misaligned buffer in
+  // debug builds before it turns into a perf bug nobody can see.
+  ELAN_DCHECK(reinterpret_cast<std::uintptr_t>(data_.data()) % kTensorAlignment == 0,
+              "Tensor storage is not kTensorAlignment-aligned");
 }
 
 void Tensor::throw_out_of_range() { throw InvalidArgument("Tensor::at out of range"); }
@@ -51,6 +59,72 @@ std::int64_t row_grain(int flops_per_row) {
 // Elementwise-op grain: chunks of 64k floats.
 constexpr std::int64_t kElemGrain = 1 << 16;
 
+// ---------------------------------------------------------------------------
+// kVector helpers. tensor.cpp owns shapes, packing and the parallel_for
+// outer tiling; the inner loops live behind detail::kernel_ops() (portable
+// or AVX2, chosen once per process by the ISA dispatcher — see kernels.h).
+// ---------------------------------------------------------------------------
+
+/// Packs b (k x n) into ceil(n/8) contiguous B-panels: panel p holds
+/// b[k][p*8+j] at packed[(p*kdim + k)*8 + j], zero-padded past n so the
+/// micro-kernel always streams full kPanelWidth rows. The pack is a pure
+/// copy (any partition is exact), 32-byte-aligned rows courtesy of the
+/// aligned buffer.
+AlignedFloatBuffer pack_b_panels(const Tensor& b) {
+  const int kdim = b.rows();
+  const int n = b.cols();
+  const int panels = (n + detail::kPanelWidth - 1) / detail::kPanelWidth;
+  AlignedFloatBuffer packed(
+      static_cast<std::size_t>(panels) * static_cast<std::size_t>(kdim) *
+          detail::kPanelWidth,
+      0.0f);
+  ThreadPool::global().parallel_for(
+      0, panels, 1, [&](std::int64_t p0, std::int64_t p1) {
+        for (std::int64_t p = p0; p < p1; ++p) {
+          const int j0 = static_cast<int>(p) * detail::kPanelWidth;
+          const int nr = std::min(detail::kPanelWidth, n - j0);
+          float* panel = packed.data() +
+                         static_cast<std::size_t>(p) * static_cast<std::size_t>(kdim) *
+                             detail::kPanelWidth;
+          for (int k = 0; k < kdim; ++k) {
+            const float* brow = b.row(k).data() + j0;
+            float* dst = panel + static_cast<std::size_t>(k) * detail::kPanelWidth;
+            for (int j = 0; j < nr; ++j) dst[j] = brow[j];
+          }
+        }
+      });
+  return packed;
+}
+
+/// Shared kVector GEMM driver for matmul and matmul_transpose_a: the left
+/// operand is addressed through (row, col) strides, so a transposed view
+/// costs nothing. Each parallel chunk walks its output rows in 8-row micro
+/// tiles against every packed panel; per output element the accumulation
+/// chain is fixed by the micro-kernel alone, so results are identical for
+/// any chunking (and a fortiori any thread count).
+void vector_gemm(int out_rows, int kdim, int n, const float* abase,
+                 std::ptrdiff_t a_row_stride, std::ptrdiff_t a_col_stride,
+                 const Tensor& b, Tensor& out) {
+  const auto& ops = detail::kernel_ops();
+  const AlignedFloatBuffer packed = pack_b_panels(b);
+  const int panels = (n + detail::kPanelWidth - 1) / detail::kPanelWidth;
+  ThreadPool::global().parallel_for(
+      0, out_rows, row_grain(kdim * n), [&](std::int64_t i0, std::int64_t i1) {
+        for (int p = 0; p < panels; ++p) {
+          const float* bp = packed.data() +
+                            static_cast<std::size_t>(p) * static_cast<std::size_t>(kdim) *
+                                detail::kPanelWidth;
+          const int j0 = p * detail::kPanelWidth;
+          const int nr = std::min(detail::kPanelWidth, n - j0);
+          for (int i = static_cast<int>(i0); i < i1; i += detail::kMicroRows) {
+            const int mr = std::min<int>(detail::kMicroRows, static_cast<int>(i1) - i);
+            ops.gemm_panel(mr, nr, kdim, abase + i * a_row_stride, a_row_stride,
+                           a_col_stride, bp, out.row(i).data() + j0, n);
+          }
+        }
+      });
+}
+
 }  // namespace
 
 void set_kernel_mode(KernelMode mode) {
@@ -58,6 +132,23 @@ void set_kernel_mode(KernelMode mode) {
 }
 
 KernelMode kernel_mode() { return g_kernel_mode.load(std::memory_order_relaxed); }
+
+std::int64_t ulp_distance(float a, float b) {
+  if (a == b) return 0;  // also maps +0 / -0 to distance 0
+  const auto ordered = [](float f) {
+    std::int32_t i;
+    std::memcpy(&i, &f, sizeof(i));
+    // Sign-magnitude float bits -> monotonically ordered integer line.
+    return i >= 0 ? static_cast<std::int64_t>(i)
+                  : static_cast<std::int64_t>(std::numeric_limits<std::int32_t>::min()) - i;
+  };
+  const std::int64_t d = ordered(a) - ordered(b);
+  return d < 0 ? -d : d;
+}
+
+bool within_vector_tolerance(float a, float b) {
+  return ulp_distance(a, b) <= kVectorMaxUlp || std::abs(a - b) <= kVectorAbsFloor;
+}
 
 Tensor matmul(const Tensor& a, const Tensor& b) {
   require(a.cols() == b.rows(), "matmul: shape mismatch");
@@ -74,6 +165,10 @@ Tensor matmul(const Tensor& a, const Tensor& b) {
   }
   const int kdim = a.cols();
   const int n = b.cols();
+  if (kernel_mode() == KernelMode::kVector) {
+    vector_gemm(a.rows(), kdim, n, a.row(0).data(), kdim, 1, b, out);
+    return out;
+  }
   ThreadPool::global().parallel_for(
       0, a.rows(), row_grain(kdim * n), [&](std::int64_t i0, std::int64_t i1) {
         // i-k-j with a k-tile: per output element the accumulation runs over
@@ -113,6 +208,26 @@ Tensor matmul_transpose_b(const Tensor& a, const Tensor& b) {
   }
   const int kdim = a.cols();
   const int n = b.rows();
+  if (kernel_mode() == KernelMode::kVector) {
+    // Row-dot-row, eight output columns per dot_rows call: the 8-lane
+    // accumulators reduce through the kernel's fixed lane tree, then the
+    // scalar k-tail folds in ascending — deterministic for any chunking.
+    const auto& ops = detail::kernel_ops();
+    ThreadPool::global().parallel_for(
+        0, a.rows(), row_grain(kdim * n), [&](std::int64_t i0, std::int64_t i1) {
+          for (int i = static_cast<int>(i0); i < i1; ++i) {
+            const float* arow = a.row(i).data();
+            float* orow = out.row(i).data();
+            for (int j0 = 0; j0 < n; j0 += detail::kPanelWidth) {
+              const int nb = std::min(detail::kPanelWidth, n - j0);
+              const float* bptr[detail::kPanelWidth];
+              for (int t = 0; t < nb; ++t) bptr[t] = b.row(j0 + t).data();
+              ops.dot_rows(kdim, arow, bptr, nb, orow + j0);
+            }
+          }
+        });
+    return out;
+  }
   ThreadPool::global().parallel_for(
       0, a.rows(), row_grain(kdim * n), [&](std::int64_t i0, std::int64_t i1) {
         // Row-dot-row over contiguous spans, four output columns at a time.
@@ -168,6 +283,12 @@ Tensor matmul_transpose_a(const Tensor& a, const Tensor& b) {
   }
   const int kdim = a.rows();
   const int n = b.cols();
+  if (kernel_mode() == KernelMode::kVector) {
+    // Same driver as matmul; the transposed left operand is just strides
+    // (output row i reads A's column i), the packed B-panels are identical.
+    vector_gemm(a.cols(), kdim, n, a.row(0).data(), 1, a.cols(), b, out);
+    return out;
+  }
   ThreadPool::global().parallel_for(
       0, a.cols(), row_grain(kdim * n), [&](std::int64_t i0, std::int64_t i1) {
         // Each task owns output rows [i0, i1); k ascends per element exactly
@@ -198,6 +319,17 @@ void add_row_bias(Tensor& x, const Tensor& bias) {
   }
   const int n = x.cols();
   const float* brow = bias.row(0).data();
+  if (kernel_mode() == KernelMode::kVector) {
+    const auto& ops = detail::kernel_ops();
+    ThreadPool::global().parallel_for(0, x.rows(), row_grain(n),
+                                      [&](std::int64_t i0, std::int64_t i1) {
+                                        for (int i = static_cast<int>(i0); i < i1; ++i) {
+                                          ops.add(static_cast<std::size_t>(n), brow,
+                                                  x.row(i).data());
+                                        }
+                                      });
+    return;
+  }
   ThreadPool::global().parallel_for(0, x.rows(), row_grain(n),
                                     [&](std::int64_t i0, std::int64_t i1) {
                                       for (int i = static_cast<int>(i0); i < i1; ++i) {
@@ -217,6 +349,19 @@ Tensor column_sums(const Tensor& x) {
   }
   const int rows = x.rows();
   float* orow = out.row(0).data();
+  if (kernel_mode() == KernelMode::kVector) {
+    // Same column partition as the tiled path (ascending-row order per
+    // column, which is elementwise and therefore exact); the inner add is
+    // the vector kernel.
+    const auto& ops = detail::kernel_ops();
+    ThreadPool::global().parallel_for(
+        0, x.cols(), row_grain(rows), [&](std::int64_t j0, std::int64_t j1) {
+          for (int i = 0; i < rows; ++i) {
+            ops.add(static_cast<std::size_t>(j1 - j0), x.row(i).data() + j0, orow + j0);
+          }
+        });
+    return out;
+  }
   // Parallel over column ranges: every task sums its columns over all rows
   // in ascending row order — the reference accumulation order per column.
   ThreadPool::global().parallel_for(0, x.cols(), row_grain(rows),
@@ -238,6 +383,15 @@ Tensor relu(const Tensor& x) {
     for (auto& v : d) v = std::max(0.0f, v);
     return out;
   }
+  if (kernel_mode() == KernelMode::kVector) {
+    const auto& ops = detail::kernel_ops();
+    ThreadPool::global().parallel_for(
+        0, static_cast<std::int64_t>(d.size()), kElemGrain,
+        [&](std::int64_t b, std::int64_t e) {
+          ops.relu(static_cast<std::size_t>(e - b), d.data() + b);
+        });
+    return out;
+  }
   ThreadPool::global().parallel_for(
       0, static_cast<std::int64_t>(d.size()), kElemGrain,
       [&](std::int64_t b, std::int64_t e) {
@@ -257,6 +411,15 @@ Tensor relu_backward(const Tensor& grad_out, const Tensor& pre_activation) {
     }
     return out;
   }
+  if (kernel_mode() == KernelMode::kVector) {
+    const auto& ops = detail::kernel_ops();
+    ThreadPool::global().parallel_for(
+        0, static_cast<std::int64_t>(g.size()), kElemGrain,
+        [&](std::int64_t b, std::int64_t e) {
+          ops.relu_bwd(static_cast<std::size_t>(e - b), z.data() + b, g.data() + b);
+        });
+    return out;
+  }
   ThreadPool::global().parallel_for(0, static_cast<std::int64_t>(g.size()), kElemGrain,
                                     [&](std::int64_t b, std::int64_t e) {
                                       for (std::int64_t i = b; i < e; ++i) {
@@ -268,14 +431,23 @@ Tensor relu_backward(const Tensor& grad_out, const Tensor& pre_activation) {
 
 namespace {
 
-/// Loss and gradient of one logit row; shared by both kernel modes so the
+/// Loss and gradient of one logit row; shared by all kernel modes so the
 /// per-row arithmetic (max, sum-exp, log) is literally the same code. Runs
-/// inside the tiled path's parallel_for, so it uses the unchecked accessors
-/// (shapes and labels were validated once by the caller).
-double softmax_row(const Tensor& logits, int i, int label, int classes, Tensor* grad) {
+/// inside the tiled/vector paths' parallel_for, so it uses the unchecked
+/// accessors (shapes and labels were validated once by the caller). The
+/// kVector mode passes its kernel table and only the max scan goes through
+/// it — max is associative, so the vector lane tree is exact and the row
+/// loss stays bit-identical to the reference scan.
+double softmax_row(const Tensor& logits, int i, int label, int classes, Tensor* grad,
+                   const detail::KernelOps* vec) {
   const float* row = logits.row(i).data();
-  float max_logit = row[0];
-  for (int j = 1; j < classes; ++j) max_logit = std::max(max_logit, row[j]);
+  float max_logit;
+  if (vec != nullptr) {
+    max_logit = vec->row_max(static_cast<std::size_t>(classes), row);
+  } else {
+    max_logit = row[0];
+    for (int j = 1; j < classes; ++j) max_logit = std::max(max_logit, row[j]);
+  }
   double denom = 0.0;
   for (int j = 0; j < classes; ++j) denom += std::exp(row[j] - max_logit);
   const double row_loss = -(row[label] - max_logit - std::log(denom));
@@ -308,10 +480,13 @@ float softmax_cross_entropy(const Tensor& logits, const std::vector<int>& labels
   if (kernel_mode() == KernelMode::kReference) {
     double loss = 0.0;
     for (int i = 0; i < n; ++i) {
-      loss += softmax_row(logits, i, labels[static_cast<std::size_t>(i)], c, grad);
+      loss += softmax_row(logits, i, labels[static_cast<std::size_t>(i)], c, grad,
+                          nullptr);
     }
     return static_cast<float>(loss / n);
   }
+  const detail::KernelOps* vec =
+      kernel_mode() == KernelMode::kVector ? &detail::kernel_ops() : nullptr;
   // Rows are independent; per-row losses land in a buffer and are reduced
   // serially in ascending row order afterwards, so the double accumulation
   // sequence is exactly the reference one.
@@ -320,7 +495,7 @@ float softmax_cross_entropy(const Tensor& logits, const std::vector<int>& labels
       0, n, row_grain(4 * c), [&](std::int64_t i0, std::int64_t i1) {
         for (int i = static_cast<int>(i0); i < i1; ++i) {
           row_loss[static_cast<std::size_t>(i)] =
-              softmax_row(logits, i, labels[static_cast<std::size_t>(i)], c, grad);
+              softmax_row(logits, i, labels[static_cast<std::size_t>(i)], c, grad, vec);
         }
       });
   double loss = 0.0;
@@ -344,11 +519,101 @@ void accumulate(Tensor& a, const Tensor& b) {
   require(a.same_shape(b), "accumulate: shape mismatch");
   auto da = a.data();
   auto db = b.data();
+  if (kernel_mode() == KernelMode::kVector) {
+    detail::kernel_ops().add(da.size(), db.data(), da.data());
+    return;
+  }
   for (std::size_t i = 0; i < da.size(); ++i) da[i] += db[i];
 }
 
 void scale(Tensor& a, float s) {
+  if (kernel_mode() == KernelMode::kVector) {
+    auto d = a.data();
+    detail::kernel_ops().scale(d.size(), s, d.data());
+    return;
+  }
   for (auto& v : a.data()) v *= s;
+}
+
+void sgd_momentum_update(Tensor& param, Tensor& velocity, const Tensor& grad,
+                         float lr, float momentum) {
+  require(param.same_shape(velocity) && param.same_shape(grad),
+          "sgd_momentum_update: shape mismatch");
+  auto p = param.data();
+  auto v = velocity.data();
+  auto g = grad.data();
+  if (kernel_mode() == KernelMode::kVector) {
+    // Unfused in the kernel (see kernels.h): bit-identical to the loop below.
+    detail::kernel_ops().sgd_update(p.size(), lr, momentum, g.data(), v.data(),
+                                    p.data());
+    return;
+  }
+  for (std::size_t i = 0; i < p.size(); ++i) {
+    v[i] = momentum * v[i] + g[i];
+    p[i] -= lr * v[i];
+  }
+}
+
+Tensor conv2d(const Tensor& input, const Tensor& kernel) {
+  require(kernel.rows() <= input.rows() && kernel.cols() <= input.cols(),
+          "conv2d: kernel larger than input");
+  const int kh = kernel.rows();
+  const int kw = kernel.cols();
+  const int oh = input.rows() - kh + 1;
+  const int ow = input.cols() - kw + 1;
+  Tensor out(oh, ow);
+  if (kernel_mode() == KernelMode::kReference) {
+    for (int i = 0; i < oh; ++i) {
+      for (int j = 0; j < ow; ++j) {
+        float acc = 0.0f;
+        for (int u = 0; u < kh; ++u) {
+          for (int v = 0; v < kw; ++v) acc += input.at(i + u, j + v) * kernel.at(u, v);
+        }
+        out.at(i, j) = acc;
+      }
+    }
+    return out;
+  }
+  const std::int64_t grain = row_grain(kh * kw * ow);
+  if (kernel_mode() == KernelMode::kVector) {
+    // Each (u, v) tap is one axpy over the whole output row: per output
+    // element the taps still arrive in ascending row-major (u, v) order, the
+    // reference accumulation sequence (fused in the AVX2 TU, so ULP-bounded
+    // rather than bit-equal).
+    const auto& ops = detail::kernel_ops();
+    ThreadPool::global().parallel_for(
+        0, oh, grain, [&](std::int64_t i0, std::int64_t i1) {
+          for (int i = static_cast<int>(i0); i < i1; ++i) {
+            float* orow = out.row(i).data();
+            for (int u = 0; u < kh; ++u) {
+              const float* irow = input.row(i + u).data();
+              const float* krow = kernel.row(u).data();
+              for (int v = 0; v < kw; ++v) {
+                ops.axpy(static_cast<std::size_t>(ow), krow[v], irow + v, orow);
+              }
+            }
+          }
+        });
+    return out;
+  }
+  ThreadPool::global().parallel_for(
+      0, oh, grain, [&](std::int64_t i0, std::int64_t i1) {
+        // Tap-major over row spans; ascending (u, v) per element keeps the
+        // sums bit-identical to the reference kernel.
+        for (int i = static_cast<int>(i0); i < i1; ++i) {
+          float* orow = out.row(i).data();
+          for (int u = 0; u < kh; ++u) {
+            const float* irow = input.row(i + u).data();
+            const float* krow = kernel.row(u).data();
+            for (int v = 0; v < kw; ++v) {
+              const float kv = krow[v];
+              const float* src = irow + v;
+              for (int j = 0; j < ow; ++j) orow[j] += kv * src[j];
+            }
+          }
+        }
+      });
+  return out;
 }
 
 }  // namespace elan::minidl

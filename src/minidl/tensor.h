@@ -21,13 +21,52 @@
 //     the in-range guarantee.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
+#include <new>
 #include <span>
 #include <vector>
 
 #include "common/error.h"
 
 namespace elan::minidl {
+
+/// Alignment of Tensor storage (and the kernel pack buffers): one cache
+/// line, which also satisfies every vector ISA up to AVX-512. Every backend
+/// benefits — unaligned 32-byte loads that straddle a line boundary cost an
+/// extra cache access on every x86 core — and the vector kernels' packed
+/// B-panels get natively aligned 32-byte rows for free.
+inline constexpr std::size_t kTensorAlignment = 64;
+
+/// Minimal aligned allocator so Tensor keeps plain std::vector semantics
+/// (copy/move/assign) while guaranteeing kTensorAlignment storage.
+template <typename T>
+struct AlignedAllocator {
+  using value_type = T;
+
+  AlignedAllocator() = default;
+  template <typename U>
+  explicit constexpr AlignedAllocator(const AlignedAllocator<U>&) noexcept {}
+
+  template <typename U>
+  struct rebind {
+    using other = AlignedAllocator<U>;
+  };
+
+  T* allocate(std::size_t n) {
+    return static_cast<T*>(
+        ::operator new(n * sizeof(T), std::align_val_t{kTensorAlignment}));
+  }
+  void deallocate(T* p, std::size_t) noexcept {
+    ::operator delete(p, std::align_val_t{kTensorAlignment});
+  }
+
+  friend bool operator==(const AlignedAllocator&, const AlignedAllocator&) {
+    return true;
+  }
+};
+
+using AlignedFloatBuffer = std::vector<float, AlignedAllocator<float>>;
 
 class Tensor {
  public:
@@ -85,7 +124,7 @@ class Tensor {
  private:
   int rows_ = 0;
   int cols_ = 0;
-  std::vector<float> data_;
+  AlignedFloatBuffer data_;
 
   [[noreturn]] static void throw_out_of_range();
 };
@@ -93,7 +132,7 @@ class Tensor {
 // ---------------------------------------------------------------------------
 // Kernel dispatch.
 //
-// Every op below has two implementations:
+// Every op below has three implementations:
 //   * kReference — the original naive serial kernels (triple loops over the
 //     checked `at()` accessor). They are the golden semantics: slow, obvious,
 //     and what the numerical-gradient tests were written against. Benches use
@@ -104,12 +143,23 @@ class Tensor {
 //     count, so kTiled results are BIT-IDENTICAL to kReference at any pool
 //     size — minidl's byte-for-byte replication invariant survives the
 //     parallel runtime (verified by MiniDlDeterminism tests).
+//   * kVector — register-blocked, explicitly vectorised kernels under the
+//     SAME parallel_for outer tiling as kTiled (so DataParallelTrainer and
+//     every elastic path inherit the speedup untouched): 8xN-accumulator
+//     GEMM micro-kernels over packed B-panels, fixed-lane-tree dot products,
+//     and vector elementwise loops, implemented twice (portable fixed-width
+//     lanes + AVX2/FMA intrinsics) and selected once per process by the
+//     runtime ISA dispatcher (minidl/isa.h, ELAN_ISA=scalar|avx2 override).
+//     kVector is run-to-run and thread-count DETERMINISTIC, but its GEMMs
+//     use fused multiply-add, so results are not bit-equal to kReference —
+//     they are pinned by within_vector_tolerance (elementwise ops and the
+//     optimizer update stay bit-identical; see DESIGN.md §5g).
 //
 // The mode is a process-wide switch (default kTiled); one relaxed atomic
 // load per kernel call, nothing on the per-element path.
 // ---------------------------------------------------------------------------
 
-enum class KernelMode { kReference, kTiled };
+enum class KernelMode { kReference, kTiled, kVector };
 
 void set_kernel_mode(KernelMode mode);
 KernelMode kernel_mode();
@@ -154,5 +204,42 @@ std::vector<int> argmax_rows(const Tensor& logits);
 void accumulate(Tensor& a, const Tensor& b);
 /// a *= s.
 void scale(Tensor& a, float s);
+
+/// SGD-with-momentum update over one parameter tensor (the optimizer hot
+/// path): velocity = momentum * velocity + grad; param -= lr * velocity.
+/// Bit-identical across all kernel modes (the vector path deliberately uses
+/// unfused mul/add), so flipping modes never perturbs optimizer state.
+void sgd_momentum_update(Tensor& param, Tensor& velocity, const Tensor& grad,
+                         float lr, float momentum);
+
+/// Minimal direct convolution: valid 2-D cross-correlation of a
+/// single-channel image. out(i,j) = sum_{u,v} input(i+u, j+v) * kernel(u,v),
+/// out shape (H-kh+1, W-kw+1), accumulation over (u,v) ascending row-major
+/// in every mode. On the same kernel-mode dispatch path as the GEMMs.
+Tensor conv2d(const Tensor& input, const Tensor& kernel);
+
+// ---------------------------------------------------------------------------
+// kVector determinism contract helpers.
+// ---------------------------------------------------------------------------
+
+/// The kVector-vs-kReference pin is a MIXED tolerance: a pair of values
+/// passes when it is within kVectorMaxUlp units-in-the-last-place OR within
+/// kVectorAbsFloor absolutely. Both arms are needed: FMA keeps the relative
+/// (ULP) error of a dot product tiny, but when terms cancel the result
+/// itself can land arbitrarily close to zero, where a ~1e-7 absolute wobble
+/// spans millions of ULPs — raw ULP distance is meaningless there. Measured
+/// at the 512x512 glorot shapes the bench pins, every element differs by
+/// < 2e-7 absolutely and 0 ULPs once below-floor elements are excluded, so
+/// both bounds carry heavy headroom (see DESIGN.md §5g).
+inline constexpr std::int64_t kVectorMaxUlp = 128;
+inline constexpr float kVectorAbsFloor = 1e-5f;
+
+/// ULP distance between two finite floats: 0 iff bit-equal or both zero
+/// (+0/-0 compare equal); values of opposite sign are measured through zero.
+/// NaNs are not handled (kernel inputs are finite by contract).
+std::int64_t ulp_distance(float a, float b);
+
+/// The mixed kVector pin described above kVectorMaxUlp.
+bool within_vector_tolerance(float a, float b);
 
 }  // namespace elan::minidl
