@@ -76,8 +76,11 @@ void Logger::set_sink(Sink sink) {
 }
 
 std::string Logger::format_line(LogLevel level, const std::string& message) {
-  const auto now = std::chrono::system_clock::now();
-  const std::time_t secs = std::chrono::system_clock::to_time_t(now);
+  // Wall-clock read is deliberate: this stamps the human-readable log prefix
+  // only. Log text never feeds simulation state, fingerprints, or protocol
+  // decisions (the sink receives it post-format), so real time is safe here.
+  const auto now = std::chrono::system_clock::now();  // elan-analyze: allow(determinism)
+  const std::time_t secs = std::chrono::system_clock::to_time_t(now);  // elan-analyze: allow(determinism)
   const auto ms = std::chrono::duration_cast<std::chrono::milliseconds>(
                       now.time_since_epoch())
                       .count() %

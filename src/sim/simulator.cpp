@@ -1,9 +1,33 @@
 #include "sim/simulator.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
+#include <cstddef>
 
 namespace elan::sim {
+
+namespace {
+// Shared by every Simulator so the chaos harness's internally-constructed
+// instances (ChaosRunner::run_plan builds its own) pick the hint up too.
+std::atomic<std::size_t> g_test_bucket_hint{0};
+}  // namespace
+
+Simulator::Simulator() {
+  const std::size_t buckets = g_test_bucket_hint.load(std::memory_order_relaxed);
+  if (buckets != 0) {
+    MutexLock lock(mu_);
+    callbacks_.rehash(buckets);
+  }
+}
+
+void Simulator::set_test_bucket_hint(std::size_t buckets) {
+  g_test_bucket_hint.store(buckets, std::memory_order_relaxed);
+}
+
+std::size_t Simulator::test_bucket_hint() {
+  return g_test_bucket_hint.load(std::memory_order_relaxed);
+}
 
 EventId Simulator::schedule(Seconds delay, Callback fn) {
   require(delay >= 0.0 && std::isfinite(delay), "Simulator::schedule: bad delay");

@@ -35,6 +35,18 @@ class Simulator {
  public:
   using Callback = std::function<void()>;
 
+  Simulator();
+
+  /// Test hook: subsequently-constructed Simulators pre-size their internal
+  /// callback map to `buckets` hash buckets (0, the default, keeps the
+  /// library default). Determinism guardrail: nothing observable may depend
+  /// on unordered_map iteration order, so chaos fingerprints must be
+  /// bit-identical whether the map has 1 bucket (every key collides) or
+  /// 1 << 13 buckets (every key isolated). tests/fault_test.cpp re-runs the
+  /// sweep under both extremes.
+  static void set_test_bucket_hint(std::size_t buckets);
+  static std::size_t test_bucket_hint();
+
   /// Current virtual time in seconds.
   Seconds now() const {
     MutexLock lock(mu_);

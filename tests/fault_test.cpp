@@ -5,6 +5,7 @@
 
 #include "common/log.h"
 #include "fault/chaos.h"
+#include "sim/simulator.h"
 
 namespace elan::fault {
 namespace {
@@ -52,6 +53,28 @@ TEST_F(FaultTest, TwoHundredPlanSweepPassesTwiceDeterministically) {
     ASSERT_TRUE(result.ok()) << result.describe();
     ASSERT_EQ(fingerprints[static_cast<std::size_t>(i)], result.fingerprint)
         << "seed " << seed << " is nondeterministic";
+  }
+
+  // Third pass: perturb the simulator's unordered_map bucket layout to the
+  // two extremes (all keys in one bucket vs. one key per bucket) and assert
+  // the fingerprints don't move. If any code path iterated the callback map
+  // — instead of draining the (time, seq)-ordered priority queue — the
+  // iteration order, and with it the fingerprint, would shift with the
+  // bucket count. Strided to every 7th seed: 2x29 runs buys the coverage
+  // without doubling the sweep's wall time.
+  struct BucketHintReset {
+    ~BucketHintReset() { sim::Simulator::set_test_bucket_hint(0); }
+  } reset_on_exit;
+  for (const std::size_t buckets : {std::size_t{1}, std::size_t{1} << 13}) {
+    sim::Simulator::set_test_bucket_hint(buckets);
+    for (int i = 0; i < kPlans; i += 7) {
+      const std::uint64_t seed = kBase + static_cast<std::uint64_t>(i);
+      const auto result = ChaosRunner::run_seed(seed);
+      ASSERT_TRUE(result.ok()) << result.describe();
+      ASSERT_EQ(fingerprints[static_cast<std::size_t>(i)], result.fingerprint)
+          << "seed " << seed << " fingerprint moved under bucket hint "
+          << buckets << " — something iterates an unordered container";
+    }
   }
 }
 

@@ -1,0 +1,70 @@
+// elan_analyze negative fixture: blocking-handler rule family.
+//
+// Mirrors the repo's transport shape: a handler lambda registered with
+// bus.attach() / ReliableEndpoint, whose (transitive) body blocks. Expected
+// findings: three — one directly in a registered lambda, one in the handler
+// method it calls, one two hops down the call graph.
+#include <functional>
+#include <string>
+
+namespace elan {
+
+struct Message {
+  std::string type;
+};
+
+struct Bus {
+  using Handler = std::function<void(const Message&)>;
+  void attach(const std::string&, Handler) {}
+};
+
+struct CondVar {
+  template <typename L>
+  void wait(L&) {}
+};
+
+struct Future {
+  int get() { return 0; }
+};
+
+struct ThreadPool {
+  template <typename F>
+  Future submit(F&&) { return {}; }
+};
+
+class Endpoint {
+ public:
+  explicit Endpoint(Bus& bus) : bus_(bus) {
+    // Handler root: everything reachable from this lambda is handler context.
+    bus_.attach("endpoint", [this](const Message& msg) { on_message(msg); });
+    // Finding 1: blocking directly inside a registered handler lambda.
+    bus_.attach("aux", [this](const Message&) {
+      pool_.submit([] {}).get();
+    });
+  }
+
+  void on_message(const Message& msg) {
+    if (msg.type == "sync") {
+      cv_.wait(guard_);  // Finding 2: condvar wait, one hop from the lambda.
+    }
+    finish_round();
+  }
+
+  void finish_round() {
+    pool_.submit([] {}).get();  // Finding 3: submit().get(), two hops down.
+  }
+
+  // Never reached from a handler: blocking here is legal and must NOT fire.
+  void blocking_from_training_thread() {
+    pool_.submit([] {}).get();
+    cv_.wait(guard_);
+  }
+
+ private:
+  Bus& bus_;
+  CondVar cv_;
+  ThreadPool pool_;
+  int guard_ = 0;
+};
+
+}  // namespace elan

@@ -1,0 +1,42 @@
+// elan_analyze negative fixture: blocking-handler rule family, waived.
+// The driver asserts zero findings and a non-zero waived count.
+#include <functional>
+#include <string>
+
+namespace elan {
+
+struct Message {
+  std::string type;
+};
+
+struct Bus {
+  using Handler = std::function<void(const Message&)>;
+  void attach(const std::string&, Handler) {}
+};
+
+struct Future {
+  int get() { return 0; }
+};
+
+struct ThreadPool {
+  template <typename F>
+  Future submit(F&&) { return {}; }
+};
+
+class WaivedEndpoint {
+ public:
+  explicit WaivedEndpoint(Bus& bus) : bus_(bus) {
+    bus_.attach("endpoint", [this](const Message& msg) { on_message(msg); });
+  }
+
+  void on_message(const Message&) {
+    // elan-analyze: allow(blocking-handler) -- fixture: pool is guaranteed idle here, bounded wait
+    pool_.submit([] {}).get();
+  }
+
+ private:
+  Bus& bus_;
+  ThreadPool pool_;
+};
+
+}  // namespace elan

@@ -1,0 +1,40 @@
+// elan_analyze negative fixture: determinism rule family.
+//
+// Every construct in this file is a determinism violation the analyzer must
+// flag — the driver (run_fixture_test.py) asserts the exact count, so adding
+// or removing a violation here requires updating EXPECTED in the driver.
+// This file is never compiled into any target; it only has to *lex* like the
+// real thing (self-contained stand-ins keep it independent of repo headers).
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <ctime>
+#include <random>
+#include <sys/time.h>
+
+namespace elan {
+
+double wall_clock_iteration_time() {
+  // 1: steady_clock consulted for "how long did the step take".
+  const auto begin = std::chrono::steady_clock::now();
+  // 2: system_clock for a timestamp that lands in protocol state.
+  const auto stamp = std::chrono::system_clock::now();
+  (void)stamp;
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - begin)
+      .count();  // 3: second steady_clock read
+}
+
+int ambient_randomness() {
+  std::random_device rd;          // 4: ambient entropy
+  std::mt19937 engine(rd());      // 5: raw engine outside elan::Rng
+  std::srand(std::time(nullptr)); // 6: srand  7: time(nullptr)
+  return static_cast<int>(engine()) + std::rand();  // 8: rand()
+}
+
+long read_time_of_day() {
+  struct timeval tv;
+  gettimeofday(&tv, nullptr);     // 9: gettimeofday
+  return tv.tv_sec;
+}
+
+}  // namespace elan

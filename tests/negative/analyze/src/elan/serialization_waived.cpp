@@ -1,0 +1,46 @@
+// elan_analyze negative fixture: serialization rule family, waived.
+//
+// `scratch` is a genuinely transient field (recomputed on arrival), so its
+// absence from both functions is waived on the declaration line — the one
+// place a reader deciding whether to persist it will look.
+#include <cstdint>
+#include <vector>
+
+namespace elan {
+
+struct BinaryWriter {
+  template <typename T>
+  void write(const T&) {}
+  std::vector<std::uint8_t> take() { return {}; }
+};
+
+struct BinaryReader {
+  template <typename T>
+  T read() { return T{}; }
+};
+
+struct LeaveMsg {
+  std::uint64_t version = 0;
+  int worker = -1;
+  // elan-analyze: allow(serialization) -- fixture: transient, recomputed by the receiver
+  std::uint64_t scratch = 0;
+
+  std::vector<std::uint8_t> serialize() const;
+  static LeaveMsg deserialize(BinaryReader& reader);
+};
+
+std::vector<std::uint8_t> LeaveMsg::serialize() const {
+  BinaryWriter w;
+  w.write(version);
+  w.write(worker);
+  return w.take();
+}
+
+LeaveMsg LeaveMsg::deserialize(BinaryReader& r) {
+  LeaveMsg m;
+  m.version = r.read<std::uint64_t>();
+  m.worker = r.read<int>();
+  return m;
+}
+
+}  // namespace elan

@@ -1,0 +1,69 @@
+// elan_analyze negative fixture: unordered-iter rule family.
+//
+// Each flagged loop iterates a container with unspecified (hash- or
+// pointer-dependent) order and feeds order-sensitive state. The final loop
+// is deliberately clean — counting is order-insensitive — pinning that the
+// rule requires a sink, not just iteration.
+#include <cstdint>
+#include <map>
+#include <set>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+namespace elan {
+
+struct BinaryWriter {
+  template <typename T>
+  void write(const T&) {}
+};
+
+inline std::uint64_t fnv_mix(std::uint64_t h, std::uint64_t v) {
+  return (h ^ v) * 1099511628211ULL;
+}
+
+using GpuAssignment = std::unordered_map<int, int>;
+
+std::uint64_t protocol_order_hazards() {
+  std::unordered_map<int, int> members;
+  std::unordered_set<int> victims;
+  GpuAssignment assignment;  // unordered via the using-alias
+  std::map<const char*, int> by_name_ptr;  // pointer-keyed: address order
+  std::vector<int> decisions;
+  BinaryWriter w;
+
+  // 1: serialisation sink (BinaryWriter) fed in hash order.
+  for (const auto& [id, gpu] : members) {
+    w.write(id);
+    w.write(gpu);
+  }
+
+  // 2: fingerprint accumulation in hash order (single-statement body).
+  std::uint64_t h = 1469598103934665603ULL;
+  for (const auto& [id, gpu] : members) h = fnv_mix(h, static_cast<std::uint64_t>(id ^ gpu));
+
+  // 3: alias-typed container feeding an ordered container.
+  for (const auto& [id, gpu] : assignment) {
+    decisions.push_back(gpu);
+  }
+
+  // 4: pointer-keyed map: iteration order is allocation order.
+  for (const auto& [name, id] : by_name_ptr) {
+    decisions.push_back(id);
+  }
+
+  // 5: unordered_set via explicit iterators.
+  for (auto it = victims.begin(); it != victims.end(); ++it) {
+    h = fnv_mix(h, static_cast<std::uint64_t>(*it));
+  }
+
+  // Clean: order-insensitive aggregation over the same containers.
+  int count = 0;
+  for (const auto& [id, gpu] : members) {
+    if (gpu >= 0) ++count;
+  }
+  return h + static_cast<std::uint64_t>(count) +
+         static_cast<std::uint64_t>(decisions.size());
+}
+
+}  // namespace elan

@@ -1,0 +1,30 @@
+// elan_analyze negative fixture: unordered-iter rule family, waived.
+// The driver asserts zero findings and a non-zero waived count.
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+namespace elan {
+
+struct BinaryWriter {
+  template <typename T>
+  void write(const T&) {}
+};
+
+std::uint64_t waived_iteration() {
+  std::unordered_map<int, int> members;
+  std::vector<int> out;
+  BinaryWriter w;
+
+  // elan-analyze: allow(unordered-iter) -- fixture: output is re-sorted by the consumer
+  for (const auto& [id, gpu] : members) {
+    w.write(id);
+  }
+
+  for (const auto& [id, gpu] : members) {  // elan-analyze: allow(unordered-iter) -- fixture: diagnostic dump only
+    out.push_back(gpu);
+  }
+  return out.size();
+}
+
+}  // namespace elan
