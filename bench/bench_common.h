@@ -5,13 +5,16 @@
 // calibrated simulator; the *shapes* match the paper (see EXPERIMENTS.md).
 #pragma once
 
+#include <chrono>
 #include <cstdio>
 #include <fstream>
 #include <iostream>
 #include <sstream>
 #include <string>
+#include <utility>
 
 #include "common/error.h"
+#include "obs/flight.h"
 
 #include "baselines/adjustment_cost.h"
 #include "common/log.h"
@@ -43,12 +46,45 @@ struct SchedTestbed {
   baselines::AdjustmentCostModel costs{topology, bandwidth, fs};
 };
 
+/// Measures FlightRecorder::record() both ways and gates the disabled path:
+/// the always-on contract is one relaxed atomic load, so it must sit in the
+/// measurement noise (the 500 ns/op ceiling is ~100x the typical cost — the
+/// gate only catches someone accidentally putting work before the enabled()
+/// check). Returns {disabled_ns, enabled_ns} for the header line.
+inline std::pair<double, double> measure_flight_overhead() {
+  using clock = std::chrono::steady_clock;
+  constexpr int kIters = 200000;
+  const bool was_enabled = obs::FlightRecorder::enabled();
+  const auto time_loop = [&] {
+    const auto t0 = clock::now();
+    for (int i = 0; i < kIters; ++i) {
+      obs::FlightRecorder::record(obs::FlightEventKind::kMsgSend, "bench");
+    }
+    return std::chrono::duration<double, std::nano>(clock::now() - t0)
+               .count() / kIters;
+  };
+  obs::FlightRecorder::set_enabled(false);
+  const double disabled_ns = time_loop();
+  obs::FlightRecorder::set_enabled(true);
+  const double enabled_ns = time_loop();
+  obs::FlightRecorder::set_enabled(was_enabled);
+  // Headers run before any real work: dropping the measurement events keeps
+  // an ELAN_FLIGHT= record free of 200k "bench" entries.
+  obs::FlightRecorder::instance().clear();
+  require(disabled_ns < 500.0,
+          "flight recorder disabled path exceeds the noise ceiling");
+  return {disabled_ns, enabled_ns};
+}
+
 inline void print_header(const std::string& title, const std::string& note = "") {
   // Every bench calls this first, so it doubles as the observability hook:
   // ELAN_TRACE=/ELAN_METRICS= give any bench a trace / metrics sidecar
   // without per-binary wiring (dumped via atexit).
   obs::init_from_env();
+  const auto [disabled_ns, enabled_ns] = measure_flight_overhead();
   std::printf("\n=== %s ===\n", title.c_str());
+  std::printf("flight recorder: disabled %.1f ns/op, enabled %.1f ns/op\n",
+              disabled_ns, enabled_ns);
   if (!note.empty()) std::printf("%s\n", note.c_str());
   std::printf("\n");
 }

@@ -37,6 +37,17 @@ inline void require(bool cond, const std::string& what) {
 
 namespace detail {
 
+/// Process-wide hook invoked on every ELAN_CHECK / ELAN_DCHECK failure,
+/// before the InternalError is thrown. The flight recorder (src/obs/flight)
+/// installs one to dump a crash record while the failing state is still in
+/// memory. The hook must not throw. Returns the previously installed hook;
+/// nullptr clears. Defined in error.cpp.
+using CheckFailureHook = void (*)(const char* expr, const char* file,
+                                  int line, const char* message);
+CheckFailureHook set_check_failure_hook(CheckFailureHook hook) noexcept;
+void invoke_check_failure_hook(const char* expr, const char* file, int line,
+                               const char* message) noexcept;
+
 [[noreturn]] inline void check_failed(const char* expr, const char* file, int line,
                                       const std::string& note = {}) {
   std::string what = "check failed: ";
@@ -50,6 +61,7 @@ namespace detail {
     what += ": ";
     what += note;
   }
+  invoke_check_failure_hook(expr, file, line, what.c_str());
   throw InternalError(what);
 }
 

@@ -78,9 +78,18 @@ std::string format_held_stack(const std::vector<HeldLock>& held) {
   return out;
 }
 
+std::atomic<LockOrderDieHook> g_die_hook{nullptr};
+
 [[noreturn]] void die(const std::string& report) {
   std::fputs(report.c_str(), stderr);
   std::fflush(stderr);
+  // Last chance to persist evidence: the flight recorder's hook dumps the
+  // protocol-event rings before the abort. The detector's internal mutex
+  // may be held here, so hooks must not allocate or take locks.
+  if (const LockOrderDieHook hook = g_die_hook.load(std::memory_order_acquire);
+      hook != nullptr) {
+    hook(report.c_str());
+  }
   std::abort();
 }
 
@@ -194,6 +203,10 @@ std::uint32_t register_class(const char* name) {
 }  // namespace
 
 bool lock_order_checks_enabled() { return kLockOrderChecks; }
+
+LockOrderDieHook set_lock_order_die_hook(LockOrderDieHook hook) noexcept {
+  return g_die_hook.exchange(hook, std::memory_order_acq_rel);
+}
 
 std::uint32_t this_thread_index() {
   static std::atomic<std::uint32_t> next{0};

@@ -86,6 +86,14 @@ bool lock_order_checks_enabled();
 /// with a readable thread id (std::thread::id is opaque and wide).
 std::uint32_t this_thread_index();
 
+/// Process-wide hook invoked when the lock-order detector is about to abort
+/// (after the report is printed, before std::abort). The flight recorder
+/// installs one to dump a crash record. The hook runs while the detector's
+/// internal mutex may be held, so it must not allocate or take locks.
+/// Returns the previously installed hook; nullptr clears.
+using LockOrderDieHook = void (*)(const char* report);
+LockOrderDieHook set_lock_order_die_hook(LockOrderDieHook hook) noexcept;
+
 /// Annotated mutex. Non-recursive. See the file comment for the naming
 /// convention; the name also appears in every detector report.
 class ELAN_CAPABILITY("mutex") Mutex {

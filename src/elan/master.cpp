@@ -4,6 +4,7 @@
 
 #include "common/error.h"
 #include "common/log.h"
+#include "obs/flight.h"
 #include "obs/trace.h"
 
 namespace elan {
@@ -59,6 +60,11 @@ void ApplicationMaster::set_phase_locked(AmPhase next) {
   }
   const AmPhase prev = phase_;
   phase_ = next;
+  obs::FlightRecorder::record(obs::FlightEventKind::kAmPhase, name_.c_str(),
+                              to_string(next),
+                              static_cast<std::uint64_t>(prev),
+                              static_cast<std::uint64_t>(next),
+                              plan_.version);
   // Listener runs under mu_ (see header): it may schedule simulator events
   // but must not call back into this AM.
   if (phase_listener_ && prev != next) phase_listener_(prev, next);
@@ -90,6 +96,9 @@ void ApplicationMaster::on_report_timeout() {
   for (int id : pending_reports_) {
     plan_.join.erase(id);
     ++evictions_;
+    obs::FlightRecorder::record(obs::FlightEventKind::kWorkerEvicted,
+                                name_.c_str(), nullptr,
+                                static_cast<std::uint64_t>(id), plan_.version);
     log_warn() << name_ << ": evicting joining worker " << id
                << " (no report within " << params_.report_timeout << "s)";
     if (obs::Tracer::enabled()) {
@@ -134,12 +143,18 @@ void ApplicationMaster::on_adjust_request(const AdjustRequestMsg& msg,
   reply.request_id = msg.request_id;
   {
     MutexLock lock(mu_);
+    obs::FlightRecorder::record(obs::FlightEventKind::kAdjustRequest,
+                                name_.c_str(), to_string(msg.type),
+                                msg.request_id);
     auto cached = replied_.find(msg.request_id);
     if (cached != replied_.end()) {
       // The job re-sent this request because the original reply never
       // arrived — replay the cached verdict instead of re-executing.
       log_debug() << "am/" << job_id_ << ": replaying reply for duplicate adjust request "
                   << msg.request_id;
+      obs::FlightRecorder::record(obs::FlightEventKind::kAdjustReplay,
+                                  name_.c_str(), nullptr, msg.request_id,
+                                  cached->second.ok ? 1 : 0);
       reply = cached->second;
     } else {
       try {
@@ -161,6 +176,10 @@ void ApplicationMaster::on_adjust_request(const AdjustRequestMsg& msg,
         reply.ok = false;
         reply.error = e.what();
       }
+      obs::FlightRecorder::record(obs::FlightEventKind::kAdjustVerdict,
+                                  name_.c_str(), to_string(msg.type),
+                                  msg.request_id, reply.ok ? 1 : 0,
+                                  plan_.version);
       replied_.emplace(msg.request_id, reply);
       while (replied_.size() > 16) replied_.erase(replied_.begin());
       persist();
@@ -259,6 +278,10 @@ void ApplicationMaster::on_report(const ReportMsg& msg) {
     obs::Tracer::instance().instant(
         "master", "worker_report", "{\"worker\":" + std::to_string(msg.worker) + "}");
   }
+  obs::FlightRecorder::record(obs::FlightEventKind::kWorkerReport,
+                              name_.c_str(), nullptr,
+                              static_cast<std::uint64_t>(msg.worker),
+                              plan_.version);
   pending_reports_.erase(msg.worker);
   if (pending_reports_.empty()) {
     cancel_report_timer_locked();

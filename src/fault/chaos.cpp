@@ -9,6 +9,7 @@
 
 #include "common/log.h"
 #include "common/rng.h"
+#include "obs/obs.h"
 #include "storage/filesystem.h"
 #include "train/models.h"
 
@@ -22,6 +23,11 @@ constexpr std::uint64_t kEventBudget = 5'000'000;
 
 std::uint64_t fnv_mix(std::uint64_t h, std::uint64_t v) {
   return (h ^ v) * 0x100000001b3ULL;
+}
+
+std::string& flight_prefix_storage() {
+  static std::string* prefix = new std::string();  // leaked: set-once config
+  return *prefix;
 }
 
 }  // namespace
@@ -46,6 +52,7 @@ std::string ChaosResult::describe() const {
      << ", kills=" << kills << ", crashes=" << master_crashes
      << ", evictions=" << evictions << ", fp=" << fingerprint << ")";
   for (const auto& f : failures) os << "\n  FAIL: " << f;
+  if (!flight_record.empty()) os << "\n  flight record: " << flight_record;
   return os.str();
 }
 
@@ -108,12 +115,55 @@ ChaosPlan ChaosRunner::sample_plan(std::uint64_t seed) {
   return plan;
 }
 
+void ChaosRunner::set_flight_prefix(std::string prefix) {
+  flight_prefix_storage() = std::move(prefix);
+}
+
+std::string ChaosRunner::flight_prefix() { return flight_prefix_storage(); }
+
+ChaosPlan ChaosRunner::scripted_failure_plan() {
+  ChaosPlan plan;
+  plan.seed = 0xdead;  // provenance marker; nothing is sampled from it
+  plan.initial_workers = 3;
+  plan.semantics = DataSemantics::kSerial;
+  plan.mechanism = Mechanism::kElan;
+  // A wedged run is pure timer churn; a full default budget would spin for
+  // millions of events (and wrap the flight ring thousands of times) before
+  // failing. Healthy runs take well under 100k events; this stops the
+  // livelock a few simulated seconds in, while the wedged round's events
+  // are still in the ring.
+  plan.event_budget = 2'700;
+
+  AdjustmentAction scale_out;
+  scale_out.at = 3.0;
+  scale_out.type = AdjustmentType::kScaleOut;
+  scale_out.count = 1;
+  plan.actions.push_back(scale_out);
+
+  // Permanent partition of the AM from everything, landing while the
+  // scale-out is underway: coordinate/decision and adjust-reply traffic is
+  // cut forever, workers re-send on their decision timers indefinitely, and
+  // the run livelocks — the exact shape a flight record must explain.
+  FaultEvent partition;
+  partition.kind = FaultKind::kDropLink;
+  partition.at = 3.5;
+  partition.duration = 1.0e9;
+  partition.endpoint_a = "am/";
+  plan.faults.seed = plan.seed;
+  plan.faults.events.push_back(partition);
+  return plan;
+}
+
 ChaosResult ChaosRunner::run_plan(const ChaosPlan& plan) {
   ChaosResult result;
   result.seed = plan.seed;
   const auto fail = [&result](std::string why) { result.failures.push_back(std::move(why)); };
 
   sim::Simulator sim;
+  // Flight events carry sim timestamps for the scope of the run; the ring
+  // restarts per plan so a dump holds exactly this run's history.
+  obs::ScopedSimClock flight_clock(sim);
+  if (obs::FlightRecorder::enabled()) obs::FlightRecorder::instance().clear();
   topo::TopologySpec spec;
   spec.nodes = 2;  // 16 GPUs: enough headroom for every sampled workload
   topo::Topology topology{spec};
@@ -214,7 +264,8 @@ ChaosResult ChaosRunner::run_plan(const ChaosPlan& plan) {
   job.stop_after_iterations(plan.target_iterations);
   sim.schedule(20.0, [&job] { job.stop(); });
   job.start();
-  result.drained = sim.run_bounded(kEventBudget);
+  result.drained =
+      sim.run_bounded(plan.event_budget != 0 ? plan.event_budget : kEventBudget);
 
   // --- Harvest + invariants -------------------------------------------------
 
@@ -296,6 +347,19 @@ ChaosResult ChaosRunner::run_plan(const ChaosPlan& plan) {
   result.fingerprint = h;
 
   if (!result.ok()) {
+    if (obs::FlightRecorder::enabled()) {
+      std::string prefix = flight_prefix_storage();
+      if (prefix.empty() && obs::flight_requested()) prefix = obs::flight_path();
+      if (!prefix.empty()) {
+        const std::string path =
+            prefix + ".seed" + std::to_string(plan.seed) + ".flt";
+        if (obs::FlightRecorder::instance().dump(path)) {
+          result.flight_record = path;
+          log_warn() << "chaos: wrote flight record " << path
+                     << "; inspect with: elan_postmortem " << path;
+        }
+      }
+    }
     log_warn() << "chaos seed " << plan.seed << " failed:\n"
                << plan.describe() << "\n" << result.describe();
   }

@@ -47,6 +47,9 @@ struct ChaosPlan {
   /// Baseline message-loss probability on the control bus (on top of any
   /// scripted partitions).
   double drop_probability = 0.0;
+  /// Per-plan event-budget override; 0 uses the runner's default. Scripted
+  /// wedge plans shrink it so a deliberate livelock fails fast.
+  std::uint64_t event_budget = 0;
   std::vector<AdjustmentAction> actions;
   FaultPlan faults;
 
@@ -82,6 +85,9 @@ struct ChaosResult {
   /// training stall any fault caused (worker-failure recovery shows up
   /// here).
   Seconds max_iteration_gap = 0;
+  /// Path of the flight record dumped for a failing plan ("" when the run
+  /// passed or the recorder was disabled). Feed it to elan_postmortem.
+  std::string flight_record;
 
   std::string describe() const;
 };
@@ -90,6 +96,19 @@ class ChaosRunner {
  public:
   /// Deterministically expands a seed into a scenario.
   static ChaosPlan sample_plan(std::uint64_t seed);
+
+  /// A hand-written plan that is guaranteed to fail: a permanent partition
+  /// cuts the AM off mid-adjustment, the coordinate/decision loop livelocks,
+  /// and the (shrunk) event budget runs out. Used to exercise the
+  /// flight-record + postmortem pipeline deterministically.
+  static ChaosPlan scripted_failure_plan();
+
+  /// When non-empty, a failing run_plan dumps the flight recorder to
+  /// "<prefix>.seed<seed>.flt" (requires the recorder to be enabled, e.g.
+  /// via ELAN_FLIGHT or elan_chaos --flight). Falls back to the ELAN_FLIGHT
+  /// path as prefix when unset.
+  static void set_flight_prefix(std::string prefix);
+  static std::string flight_prefix();
 
   /// Runs one scenario in a fresh simulated cluster and checks invariants.
   static ChaosResult run_plan(const ChaosPlan& plan);

@@ -4,6 +4,7 @@
 #include <sstream>
 
 #include "common/log.h"
+#include "obs/flight.h"
 #include "obs/trace.h"
 
 namespace elan::fault {
@@ -61,6 +62,9 @@ bool FaultInjector::LinkWindow::matches(const transport::Message& msg,
 
 void FaultInjector::record(std::string what) {
   log_info() << "fault: " << what << " (t=" << sim_.now() << ")";
+  obs::FlightRecorder::record(obs::FlightEventKind::kFaultInjected, "fault",
+                              what.c_str(),
+                              static_cast<std::uint64_t>(injected_.size()));
   if (obs::Tracer::enabled()) {
     obs::Tracer::instance().instant("fault", what);
   }
@@ -125,6 +129,13 @@ void FaultInjector::arm(const FaultPlan& plan) {
                                       event.endpoint_a, event.endpoint_b,
                                       event.kind == FaultKind::kDropLink,
                                       event.factor});
+        // Windows never pass through fire()/record(); give the flight
+        // recorder the arming itself (a/b = window bounds in ms).
+        obs::FlightRecorder::record(obs::FlightEventKind::kFaultInjected,
+                                    "fault", to_string(event.kind),
+                                    static_cast<std::uint64_t>(event.at * 1e3),
+                                    static_cast<std::uint64_t>(
+                                        (event.at + event.duration) * 1e3));
         break;
       case FaultKind::kCrashMaster:
         if (event.phase >= 0) {

@@ -1,0 +1,393 @@
+#include "obs/flight.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <csignal>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+
+#include "common/error.h"
+#include "common/sync.h"
+#include "obs/metrics.h"
+
+namespace elan::obs {
+
+namespace {
+
+// File format v1 (DESIGN.md §5i). All integers little-endian host order —
+// records are read back on the machine (or CI runner) that wrote them, and
+// the header pins sizeof(FlightEvent) so a layout drift fails loudly.
+//
+//   magic "ELANFLT\x01"            8 bytes (last byte = format version)
+//   u32 event_size                 sizeof(FlightEvent)
+//   u32 ring_count
+//   ring_count times:
+//     u32 thread  u32 stored  u64 total   stored * FlightEvent (old→new)
+//   u64 metrics_len                0 in crash-path records
+//   metrics_len bytes              MetricsRegistry text exposition
+constexpr char kMagic[8] = {'E', 'L', 'A', 'N', 'F', 'L', 'T', '\x01'};
+
+struct Ring {
+  std::atomic<std::uint64_t> head{0};  // events ever written; single writer
+  std::uint32_t thread = 0;
+  FlightEvent slots[FlightRecorder::kRingCapacity];
+};
+
+std::atomic<Ring*> g_rings[FlightRecorder::kMaxThreads];
+std::atomic<std::uint64_t> g_seq{0};
+
+std::atomic<FlightRecorder::ClockFn> g_clock{nullptr};
+std::atomic<void*> g_clock_ctx{nullptr};
+
+// Crash-dump state. Preconfigured by arm_crash_dump (normal context, may
+// allocate); consumed by the async-signal-safe dump path, which may not.
+char g_crash_path[512] = {};
+char g_crash_note[600] = {};
+std::size_t g_crash_note_len = 0;
+std::atomic<bool> g_crash_dumped{false};
+
+double real_now_us() {
+  static const auto t0 = std::chrono::steady_clock::now();
+  return std::chrono::duration<double, std::micro>(
+             std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+void copy_field(char* dst, std::size_t cap, const char* src) {
+  std::size_t i = 0;
+  if (src != nullptr) {
+    for (; i + 1 < cap && src[i] != '\0'; ++i) dst[i] = src[i];
+  }
+  dst[i] = '\0';
+}
+
+Ring* ring_for_this_thread() {
+  thread_local Ring* t_ring = nullptr;
+  if (t_ring != nullptr) return t_ring;
+  const std::uint32_t idx =
+      static_cast<std::uint32_t>(this_thread_index());
+  if (idx >= FlightRecorder::kMaxThreads) return nullptr;
+  Ring* ring = g_rings[idx].load(std::memory_order_acquire);
+  if (ring == nullptr) {
+    // Once-per-thread registration: the only allocation on the record path.
+    auto* fresh = new Ring();
+    fresh->thread = idx;
+    Ring* expected = nullptr;
+    if (g_rings[idx].compare_exchange_strong(expected, fresh,
+                                             std::memory_order_acq_rel)) {
+      ring = fresh;
+    } else {
+      delete fresh;
+      ring = expected;
+    }
+  }
+  t_ring = ring;
+  return ring;
+}
+
+// ---- async-signal-safe writer -------------------------------------------
+// Everything below with a _signal_safe suffix (plus these helpers, which
+// the signal-safety analyzer rule reaches through the call graph) runs on
+// the crash path: only write(2)/open(2)/close(2), stack buffers, no locks,
+// no allocation, no stdio.
+
+bool write_all_sigsafe(int fd, const void* buf, std::size_t len) {
+  const char* p = static_cast<const char*>(buf);
+  while (len > 0) {
+    const ssize_t n = ::write(fd, p, len);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    p += n;
+    len -= static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+bool write_rings_signal_safe(int fd) {
+  if (!write_all_sigsafe(fd, kMagic, sizeof(kMagic))) return false;
+  const std::uint32_t event_size = sizeof(FlightEvent);
+  std::uint32_t ring_count = 0;
+  for (std::uint32_t i = 0; i < FlightRecorder::kMaxThreads; ++i) {
+    if (g_rings[i].load(std::memory_order_acquire) != nullptr) ++ring_count;
+  }
+  if (!write_all_sigsafe(fd, &event_size, sizeof(event_size))) return false;
+  if (!write_all_sigsafe(fd, &ring_count, sizeof(ring_count))) return false;
+  for (std::uint32_t i = 0; i < FlightRecorder::kMaxThreads; ++i) {
+    Ring* ring = g_rings[i].load(std::memory_order_acquire);
+    if (ring == nullptr) continue;
+    const std::uint64_t total = ring->head.load(std::memory_order_acquire);
+    const std::uint32_t stored =
+        total < FlightRecorder::kRingCapacity
+            ? static_cast<std::uint32_t>(total)
+            : FlightRecorder::kRingCapacity;
+    if (!write_all_sigsafe(fd, &ring->thread, sizeof(ring->thread)) ||
+        !write_all_sigsafe(fd, &stored, sizeof(stored)) ||
+        !write_all_sigsafe(fd, &total, sizeof(total))) {
+      return false;
+    }
+    if (total <= FlightRecorder::kRingCapacity) {
+      if (!write_all_sigsafe(fd, ring->slots, stored * sizeof(FlightEvent)))
+        return false;
+    } else {
+      // Wrapped: oldest event lives at head & mask. Two spans, old→new.
+      const std::uint64_t start = total & (FlightRecorder::kRingCapacity - 1);
+      const std::uint64_t tail = FlightRecorder::kRingCapacity - start;
+      if (!write_all_sigsafe(fd, ring->slots + start,
+                             tail * sizeof(FlightEvent)) ||
+          !write_all_sigsafe(fd, ring->slots, start * sizeof(FlightEvent))) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+void crash_dump_signal_safe() {
+  if (g_crash_path[0] == '\0') return;
+  if (g_crash_dumped.exchange(true)) return;  // at most once per process
+  const int fd = ::open(g_crash_path, O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) return;
+  FlightRecorder::instance().dump_to_fd_signal_safe(fd);
+  ::close(fd);
+  write_all_sigsafe(2, g_crash_note, g_crash_note_len);
+}
+
+extern "C" void fatal_signal_handler_signal_safe(int sig) {
+  crash_dump_signal_safe();
+  // SA_RESETHAND restored the default disposition; re-raise so the process
+  // still dies with the original signal (and gtest death tests still match).
+  ::raise(sig);
+}
+
+// ---- crash hooks (normal context: called before throw/abort) ------------
+
+const char* path_basename(const char* path) {
+  const char* base = path;
+  for (const char* p = path; *p != '\0'; ++p) {
+    if (*p == '/') base = p + 1;
+  }
+  return base;
+}
+
+void flight_check_failure_hook(const char* /*expr*/, const char* file,
+                               int line, const char* /*message*/) {
+  FlightRecorder::record(FlightEventKind::kCheckFailed, "check",
+                         path_basename(file),
+                         static_cast<std::uint64_t>(line));
+  crash_dump_signal_safe();
+}
+
+void flight_die_hook(const char* /*report*/) {
+  FlightRecorder::record(FlightEventKind::kLockOrderHit, "lockorder");
+  crash_dump_signal_safe();
+}
+
+void install_signal_handlers() {
+  static bool installed = false;
+  if (installed) return;
+  installed = true;
+  struct sigaction sa = {};
+  sa.sa_handler = &fatal_signal_handler_signal_safe;
+  sigemptyset(&sa.sa_mask);
+  sa.sa_flags = SA_RESETHAND;
+  ::sigaction(SIGSEGV, &sa, nullptr);
+  ::sigaction(SIGABRT, &sa, nullptr);
+}
+
+}  // namespace
+
+std::atomic<bool> FlightRecorder::enabled_{false};
+
+FlightRecorder& FlightRecorder::instance() {
+  // Leaked singleton: the crash paths may run during static destruction.
+  // The one-time `new` happens at arm/enable time, long before any signal
+  // handler can reach this.  // elan-analyze: allow(signal-safety)
+  static FlightRecorder* recorder = new FlightRecorder();
+  return *recorder;
+}
+
+void FlightRecorder::record(FlightEventKind kind, const char* actor,
+                            const char* detail, std::uint64_t a,
+                            std::uint64_t b, std::uint64_t c) {
+  if (!enabled()) return;
+  Ring* ring = ring_for_this_thread();
+  if (ring == nullptr) return;
+  FlightEvent ev;
+  ev.ts_us = now_us();
+  ev.seq = g_seq.fetch_add(1, std::memory_order_relaxed);
+  ev.a = a;
+  ev.b = b;
+  ev.c = c;
+  ev.thread = ring->thread;
+  ev.kind = static_cast<std::uint8_t>(kind);
+  copy_field(ev.actor, sizeof(ev.actor), actor);
+  copy_field(ev.detail, sizeof(ev.detail), detail);
+  const std::uint64_t head = ring->head.load(std::memory_order_relaxed);
+  ring->slots[head & (kRingCapacity - 1)] = ev;
+  ring->head.store(head + 1, std::memory_order_release);
+}
+
+void FlightRecorder::set_clock(ClockFn fn, void* ctx) {
+  // Clear first so a racing reader never pairs the new fn with a stale ctx.
+  g_clock.store(nullptr, std::memory_order_release);
+  g_clock_ctx.store(ctx, std::memory_order_release);
+  g_clock.store(fn, std::memory_order_release);
+}
+
+double FlightRecorder::now_us() {
+  const ClockFn fn = g_clock.load(std::memory_order_acquire);
+  if (fn != nullptr) return fn(g_clock_ctx.load(std::memory_order_relaxed));
+  return real_now_us();
+}
+
+void FlightRecorder::clear() {
+  g_seq.store(0, std::memory_order_relaxed);
+  for (std::uint32_t i = 0; i < kMaxThreads; ++i) {
+    Ring* ring = g_rings[i].load(std::memory_order_acquire);
+    if (ring != nullptr) ring->head.store(0, std::memory_order_release);
+  }
+}
+
+std::uint64_t FlightRecorder::total_recorded() const {
+  std::uint64_t total = 0;
+  for (std::uint32_t i = 0; i < kMaxThreads; ++i) {
+    Ring* ring = g_rings[i].load(std::memory_order_acquire);
+    if (ring != nullptr) total += ring->head.load(std::memory_order_acquire);
+  }
+  return total;
+}
+
+bool FlightRecorder::dump(const std::string& path) {
+  const int fd = ::open(path.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) return false;
+  bool ok = write_rings_signal_safe(fd);
+  const std::string metrics = MetricsRegistry::instance().text_exposition();
+  const std::uint64_t metrics_len = metrics.size();
+  ok = ok && write_all_sigsafe(fd, &metrics_len, sizeof(metrics_len));
+  ok = ok && write_all_sigsafe(fd, metrics.data(), metrics.size());
+  ::close(fd);
+  return ok;
+}
+
+void FlightRecorder::arm_crash_dump(const std::string& path) {
+  std::snprintf(g_crash_path, sizeof(g_crash_path), "%s", path.c_str());
+  std::snprintf(g_crash_note, sizeof(g_crash_note),
+                "[flight] wrote crash record %s\n", g_crash_path);
+  g_crash_note_len = std::strlen(g_crash_note);
+  g_crash_dumped.store(false, std::memory_order_relaxed);
+  if (path.empty()) return;  // disarm: hooks stay installed but no-op
+  elan::detail::set_check_failure_hook(&flight_check_failure_hook);
+  set_lock_order_die_hook(&flight_die_hook);
+  install_signal_handlers();
+}
+
+std::string FlightRecorder::crash_path() const {
+  return std::string(g_crash_path);
+}
+
+void FlightRecorder::dump_to_fd_signal_safe(int fd) const {
+  if (!write_rings_signal_safe(fd)) return;
+  const std::uint64_t metrics_len = 0;  // registry lock is not signal-safe
+  write_all_sigsafe(fd, &metrics_len, sizeof(metrics_len));
+}
+
+const char* to_string(FlightEventKind kind) {
+  switch (kind) {
+    case FlightEventKind::kMsgSend: return "msg.send";
+    case FlightEventKind::kMsgDrop: return "msg.drop";
+    case FlightEventKind::kMsgDeliver: return "msg.deliver";
+    case FlightEventKind::kMsgToUnknown: return "msg.to_unknown";
+    case FlightEventKind::kMsgRetry: return "msg.retry";
+    case FlightEventKind::kMsgGaveUp: return "msg.gave_up";
+    case FlightEventKind::kAmPhase: return "am.phase";
+    case FlightEventKind::kAdjustRequest: return "am.adjust_request";
+    case FlightEventKind::kAdjustReplay: return "am.adjust_replay";
+    case FlightEventKind::kAdjustVerdict: return "am.adjust_verdict";
+    case FlightEventKind::kWorkerReport: return "am.worker_report";
+    case FlightEventKind::kWorkerEvicted: return "am.worker_evicted";
+    case FlightEventKind::kCoordinateSend: return "worker.coordinate";
+    case FlightEventKind::kCoordinateResend: return "worker.coord_resend";
+    case FlightEventKind::kDecisionRecv: return "worker.decision";
+    case FlightEventKind::kDecisionStale: return "worker.decision_stale";
+    case FlightEventKind::kRoundStart: return "round.start";
+    case FlightEventKind::kRoundDecision: return "round.decision";
+    case FlightEventKind::kRoundComplete: return "round.complete";
+    case FlightEventKind::kAdjustSent: return "job.adjust_sent";
+    case FlightEventKind::kAdjustReply: return "job.adjust_reply";
+    case FlightEventKind::kAdjustStart: return "job.adjust_start";
+    case FlightEventKind::kAdjustFinish: return "job.adjust_finish";
+    case FlightEventKind::kChunkVerified: return "repl.chunk_verified";
+    case FlightEventKind::kChunkSourceLost: return "repl.chunk_src_lost";
+    case FlightEventKind::kReplicationReplan: return "repl.replanned";
+    case FlightEventKind::kFaultInjected: return "fault.injected";
+    case FlightEventKind::kLockOrderHit: return "death.lock_order";
+    case FlightEventKind::kCheckFailed: return "death.check_failed";
+  }
+  return "unknown";
+}
+
+std::vector<FlightEvent> FlightRecord::merged() const {
+  std::vector<FlightEvent> all;
+  for (const Ring& ring : rings) {
+    all.insert(all.end(), ring.events.begin(), ring.events.end());
+  }
+  std::stable_sort(all.begin(), all.end(),
+                   [](const FlightEvent& x, const FlightEvent& y) {
+                     if (x.ts_us != y.ts_us) return x.ts_us < y.ts_us;
+                     return x.seq < y.seq;
+                   });
+  return all;
+}
+
+FlightRecord read_flight_record(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw Error("flight record: cannot open " + path);
+  auto read_raw = [&](void* dst, std::size_t len) {
+    in.read(static_cast<char*>(dst), static_cast<std::streamsize>(len));
+    if (!in) throw Error("flight record: truncated file " + path);
+  };
+  char magic[8];
+  read_raw(magic, sizeof(magic));
+  if (std::memcmp(magic, kMagic, 7) != 0)
+    throw Error("flight record: bad magic in " + path);
+  FlightRecord record;
+  record.version = static_cast<std::uint32_t>(magic[7]);
+  if (record.version != 1)
+    throw Error("flight record: unsupported version in " + path);
+  std::uint32_t event_size = 0;
+  read_raw(&event_size, sizeof(event_size));
+  if (event_size != sizeof(FlightEvent))
+    throw Error("flight record: event layout mismatch in " + path);
+  std::uint32_t ring_count = 0;
+  read_raw(&ring_count, sizeof(ring_count));
+  if (ring_count > FlightRecorder::kMaxThreads)
+    throw Error("flight record: implausible ring count in " + path);
+  record.rings.resize(ring_count);
+  for (FlightRecord::Ring& ring : record.rings) {
+    std::uint32_t stored = 0;
+    read_raw(&ring.thread, sizeof(ring.thread));
+    read_raw(&stored, sizeof(stored));
+    read_raw(&ring.total, sizeof(ring.total));
+    if (stored > FlightRecorder::kRingCapacity)
+      throw Error("flight record: implausible ring size in " + path);
+    ring.events.resize(stored);
+    if (stored > 0)
+      read_raw(ring.events.data(), stored * sizeof(FlightEvent));
+  }
+  std::uint64_t metrics_len = 0;
+  read_raw(&metrics_len, sizeof(metrics_len));
+  if (metrics_len > (1u << 30))
+    throw Error("flight record: implausible metrics size in " + path);
+  record.metrics_text.resize(metrics_len);
+  if (metrics_len > 0) read_raw(record.metrics_text.data(), metrics_len);
+  return record;
+}
+
+}  // namespace elan::obs

@@ -2,11 +2,39 @@
 
 #include <algorithm>
 #include <fstream>
+#include <limits>
 #include <sstream>
 
 #include "common/error.h"
 
 namespace elan::obs {
+
+std::string escape_label_value(const std::string& value) {
+  std::string out;
+  out.reserve(value.size());
+  for (const char ch : value) {
+    switch (ch) {
+      case '\\': out += "\\\\"; break;
+      case '"': out += "\\\""; break;
+      case '\n': out += "\\n"; break;
+      default: out += ch;
+    }
+  }
+  return out;
+}
+
+std::string escape_help(const std::string& help) {
+  std::string out;
+  out.reserve(help.size());
+  for (const char ch : help) {
+    switch (ch) {
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      default: out += ch;
+    }
+  }
+  return out;
+}
 
 Histogram::Histogram(std::vector<double> bounds) : bounds_(std::move(bounds)) {
   require(std::is_sorted(bounds_.begin(), bounds_.end()),
@@ -29,6 +57,29 @@ void Histogram::observe(double v) {
   double expected = sum_.load(std::memory_order_relaxed);
   while (!sum_.compare_exchange_weak(expected, expected + v, std::memory_order_relaxed)) {
   }
+}
+
+double Histogram::Snapshot::quantile(double p) const {
+  if (count == 0 || !(p >= 0.0 && p <= 1.0)) {
+    return std::numeric_limits<double>::quiet_NaN();
+  }
+  const double rank = p * static_cast<double>(count);
+  std::uint64_t cumulative = 0;
+  for (std::size_t i = 0; i < bounds.size(); ++i) {
+    const std::uint64_t below = cumulative;  // observations before bucket i
+    cumulative += counts[i];
+    if (static_cast<double>(cumulative) < rank) continue;
+    if (counts[i] == 0) continue;  // rank == cumulative on an empty bucket
+    const double lower = i == 0 ? 0.0 : bounds[i - 1];
+    const double upper = bounds[i];
+    const double fraction =
+        (rank - static_cast<double>(below)) / static_cast<double>(counts[i]);
+    return lower + (upper - lower) * std::clamp(fraction, 0.0, 1.0);
+  }
+  // Rank falls in the +Inf bucket: clamp to the highest finite bound (the
+  // promql convention — there is no finite upper edge to interpolate to).
+  return bounds.empty() ? std::numeric_limits<double>::quiet_NaN()
+                        : bounds.back();
 }
 
 Histogram::Snapshot Histogram::snapshot() const {
@@ -93,8 +144,15 @@ std::string MetricsRegistry::text_exposition() const {
   std::ostringstream os;
   os.precision(12);
   MutexLock lock(mu_);
+  // Every emitted label value passes through escape_label_value — today the
+  // only label is `le`, whose rendered bounds are benign, but the exposition
+  // spec escaping must hold wherever a value is interpolated into {...}.
+  const auto le_label = [](const std::string& rendered) {
+    return escape_label_value(rendered);
+  };
   for (const auto& e : entries_) {
-    if (!e->help.empty()) os << "# HELP " << e->name << " " << e->help << "\n";
+    if (!e->help.empty())
+      os << "# HELP " << e->name << " " << escape_help(e->help) << "\n";
     switch (e->kind) {
       case Kind::kCounter:
         os << "# TYPE " << e->name << " counter\n";
@@ -110,10 +168,14 @@ std::string MetricsRegistry::text_exposition() const {
         std::uint64_t cumulative = 0;
         for (std::size_t i = 0; i < s.bounds.size(); ++i) {
           cumulative += s.counts[i];
-          os << e->name << "_bucket{le=\"" << s.bounds[i] << "\"} " << cumulative << "\n";
+          std::ostringstream bound;
+          bound.precision(12);
+          bound << s.bounds[i];
+          os << e->name << "_bucket{le=\"" << le_label(bound.str()) << "\"} "
+             << cumulative << "\n";
         }
         cumulative += s.counts.back();
-        os << e->name << "_bucket{le=\"+Inf\"} " << cumulative << "\n";
+        os << e->name << "_bucket{le=\"" << le_label("+Inf") << "\"} " << cumulative << "\n";
         os << e->name << "_sum " << s.sum << "\n";
         os << e->name << "_count " << s.count << "\n";
         break;

@@ -28,6 +28,14 @@
 
 namespace elan::obs {
 
+/// Escapes a Prometheus label value per the text exposition format:
+/// backslash -> \\, double quote -> \", newline -> \n.
+std::string escape_label_value(const std::string& value);
+
+/// Escapes HELP text per the exposition format: backslash -> \\ and
+/// newline -> \n (quotes are legal in HELP lines).
+std::string escape_help(const std::string& help);
+
 namespace detail {
 
 /// Cache-line-padded atomic slot; counters stripe over these by thread index
@@ -83,8 +91,19 @@ class Histogram {
     std::vector<std::uint64_t> counts;   // per-bucket, size bounds.size() + 1
     std::uint64_t count = 0;             // total observations
     double sum = 0;                      // sum of observed values
+
+    /// Bucket-interpolated quantile, Prometheus histogram_quantile
+    /// semantics: finds the bucket containing rank p * count and linearly
+    /// interpolates within its [lower, upper] bounds (the first bucket's
+    /// lower bound is 0). A rank landing in the +Inf bucket clamps to the
+    /// highest finite bound. NaN when the histogram is empty or p is
+    /// outside [0, 1].
+    double quantile(double p) const;
   };
   Snapshot snapshot() const;
+
+  /// snapshot().quantile(p) — a consistent point-in-time estimate.
+  double quantile(double p) const { return snapshot().quantile(p); }
 
   const std::vector<double>& bounds() const { return bounds_; }
 

@@ -22,6 +22,11 @@ std::string& metrics_path() {
   return path;
 }
 
+std::string& flight_path_storage() {
+  static std::string path;
+  return path;
+}
+
 void dump_observability() {
   if (!trace_path().empty()) {
     try {
@@ -40,6 +45,17 @@ void dump_observability() {
       std::fprintf(stderr, "[obs] metrics dump failed: %s\n", e.what());
     }
     metrics_path().clear();
+  }
+  if (!flight_path_storage().empty()) {
+    // Clean-exit flight record (crash paths write their own through the
+    // armed hooks). Keep the path so flight_requested() stays true.
+    if (FlightRecorder::instance().dump(flight_path_storage())) {
+      std::fprintf(stderr, "[obs] wrote flight record %s\n",
+                   flight_path_storage().c_str());
+    } else {
+      std::fprintf(stderr, "[obs] flight record dump failed: %s\n",
+                   flight_path_storage().c_str());
+    }
   }
 }
 
@@ -63,10 +79,21 @@ void init_from_env() {
     metrics_path() = metrics;
     want_dump = true;
   }
+  if (const char* flight = std::getenv("ELAN_FLIGHT");
+      flight != nullptr && *flight != '\0') {
+    flight_path_storage() = flight;
+    FlightRecorder::set_enabled(true);
+    FlightRecorder::instance().arm_crash_dump(flight);
+    want_dump = true;
+  }
   if (want_dump) std::atexit(dump_observability);
 }
 
 bool trace_requested() { return !trace_path().empty(); }
+
+bool flight_requested() { return !flight_path_storage().empty(); }
+
+std::string flight_path() { return flight_path_storage(); }
 
 void dump_now() { dump_observability(); }
 

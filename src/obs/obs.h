@@ -7,15 +7,20 @@
 //                         JSON to <path> at process exit;
 //     ELAN_METRICS=<path> writes the Prometheus-style metrics snapshot to
 //                         <path> at process exit.
+//     ELAN_FLIGHT=<path>  enables the black-box flight recorder, arms its
+//                         crash dump (ELAN_CHECK failures, lock-order
+//                         aborts, SIGSEGV/SIGABRT), and writes the record
+//                         to <path> at process exit as well.
 //
-//   obs::ScopedSimClock — switches the tracer onto a simulator's virtual
-//   clock for the scope of a sim run, so spans recorded through the normal
-//   macros carry virtual timestamps comparable to the explicitly-timestamped
-//   spans the job runtime emits (paper Figs 10-11 timelines).
+//   obs::ScopedSimClock — switches the tracer AND the flight recorder onto
+//   a simulator's virtual clock for the scope of a sim run, so spans and
+//   flight events carry virtual timestamps comparable to the explicitly-
+//   timestamped spans the job runtime emits (paper Figs 10-11 timelines).
 #pragma once
 
 #include <string>
 
+#include "obs/flight.h"
 #include "obs/trace.h"
 #include "sim/simulator.h"
 
@@ -28,18 +33,32 @@ void init_from_env();
 /// True when init_from_env enabled tracing (ELAN_TRACE was set).
 bool trace_requested();
 
+/// True when init_from_env enabled the flight recorder (ELAN_FLIGHT set).
+bool flight_requested();
+
+/// The ELAN_FLIGHT destination ("" when unset).
+std::string flight_path();
+
 /// Flushes the pending exit dumps immediately (also runs atexit; tools call
 /// this to write files before printing a "wrote ..." line).
 void dump_now();
 
-/// Tracer timestamps come from `sim.now()` while this object lives; the
-/// real-time clock is restored on destruction.
+/// Tracer and flight-recorder timestamps come from `sim.now()` while this
+/// object lives; the real-time clock is restored on destruction.
 class ScopedSimClock {
  public:
   explicit ScopedSimClock(sim::Simulator& sim) {
     Tracer::instance().set_clock([&sim] { return sim.now() * 1e6; });
+    FlightRecorder::set_clock(
+        [](void* ctx) {
+          return static_cast<sim::Simulator*>(ctx)->now() * 1e6;
+        },
+        &sim);
   }
-  ~ScopedSimClock() { Tracer::instance().set_clock(nullptr); }
+  ~ScopedSimClock() {
+    Tracer::instance().set_clock(nullptr);
+    FlightRecorder::set_clock(nullptr, nullptr);
+  }
 
   ScopedSimClock(const ScopedSimClock&) = delete;
   ScopedSimClock& operator=(const ScopedSimClock&) = delete;

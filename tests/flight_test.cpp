@@ -1,0 +1,265 @@
+// Flight-recorder core tests: ring wrap-around, concurrent writers, the
+// versioned dump/parse round trip, the crash-dump-on-ELAN_CHECK death path,
+// and the metrics satellite (histogram quantiles + exposition escaping).
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <cstdlib>
+#include <set>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "common/thread_pool.h"
+#include "obs/flight.h"
+#include "obs/metrics.h"
+
+namespace elan::obs {
+namespace {
+
+class FlightTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    FlightRecorder::set_enabled(true);
+    FlightRecorder::instance().clear();
+  }
+  void TearDown() override { FlightRecorder::set_enabled(false); }
+};
+
+const FlightRecord::Ring* find_ring(const FlightRecord& record,
+                                    const char* actor) {
+  for (const auto& ring : record.rings) {
+    for (const auto& e : ring.events) {
+      if (std::string(e.actor) == actor) return &ring;
+    }
+  }
+  return nullptr;
+}
+
+TEST_F(FlightTest, DisabledPathRecordsNothing) {
+  FlightRecorder::set_enabled(false);
+  const std::uint64_t before = FlightRecorder::instance().total_recorded();
+  FlightRecorder::record(FlightEventKind::kMsgSend, "off", nullptr, 1);
+  EXPECT_EQ(FlightRecorder::instance().total_recorded(), before);
+}
+
+TEST_F(FlightTest, RingWrapKeepsNewestEvents) {
+  const std::uint64_t n = FlightRecorder::kRingCapacity + 500;
+  for (std::uint64_t i = 0; i < n; ++i) {
+    FlightRecorder::record(FlightEventKind::kMsgSend, "wrap-test", "t", i);
+  }
+  EXPECT_EQ(FlightRecorder::instance().total_recorded(), n);
+
+  // Normal dumps carry a metrics snapshot; plant a marker to prove it.
+  MetricsRegistry::instance()
+      .counter("elan_flight_test_marker_total", "dump marker")
+      .add();
+  const std::string path = ::testing::TempDir() + "flight_wrap.flt";
+  ASSERT_TRUE(FlightRecorder::instance().dump(path));
+  const FlightRecord record = read_flight_record(path);
+  EXPECT_EQ(record.version, 1u);
+  EXPECT_NE(record.metrics_text.find("elan_flight_test_marker_total"),
+            std::string::npos);
+
+  const auto* ring = find_ring(record, "wrap-test");
+  ASSERT_NE(ring, nullptr);
+  EXPECT_EQ(ring->total, n);
+  ASSERT_EQ(ring->events.size(), FlightRecorder::kRingCapacity);
+  // Newest events survive the wrap, oldest -> newest, gap-free.
+  EXPECT_EQ(ring->events.front().a, 500u);
+  EXPECT_EQ(ring->events.back().a, n - 1);
+  for (std::size_t i = 1; i < ring->events.size(); ++i) {
+    EXPECT_EQ(ring->events[i].a, ring->events[i - 1].a + 1);
+    EXPECT_GT(ring->events[i].seq, ring->events[i - 1].seq);
+  }
+}
+
+TEST_F(FlightTest, TruncatesActorAndDetail) {
+  FlightRecorder::record(FlightEventKind::kMsgSend,
+                         "an-actor-name-well-beyond-the-field",
+                         "a-detail-string-well-beyond-the-field");
+  const std::string path = ::testing::TempDir() + "flight_trunc.flt";
+  ASSERT_TRUE(FlightRecorder::instance().dump(path));
+  const FlightRecord record = read_flight_record(path);
+  const auto merged = record.merged();
+  ASSERT_EQ(merged.size(), 1u);
+  EXPECT_EQ(std::string(merged[0].actor), "an-actor-name-we");
+  EXPECT_EQ(std::string(merged[0].detail), "a-detail-string-w");
+}
+
+TEST_F(FlightTest, ConcurrentWritersFromParallelFor) {
+  constexpr std::int64_t kEvents = 20000;
+  ThreadPool pool(4);
+  pool.parallel_for(0, kEvents, 64, [](std::int64_t b, std::int64_t e) {
+    for (std::int64_t i = b; i < e; ++i) {
+      FlightRecorder::record(FlightEventKind::kMsgDeliver, "mt-test", nullptr,
+                             static_cast<std::uint64_t>(i));
+    }
+  });
+  EXPECT_EQ(FlightRecorder::instance().total_recorded(),
+            static_cast<std::uint64_t>(kEvents));
+
+  const std::string path = ::testing::TempDir() + "flight_mt.flt";
+  ASSERT_TRUE(FlightRecorder::instance().dump(path));
+  const FlightRecord record = read_flight_record(path);
+
+  std::uint64_t total = 0;
+  for (const auto& ring : record.rings) {
+    total += ring.total;
+    EXPECT_EQ(ring.events.size(),
+              std::min<std::uint64_t>(ring.total, FlightRecorder::kRingCapacity));
+  }
+  EXPECT_EQ(total, static_cast<std::uint64_t>(kEvents));
+
+  // merged() is sorted and the global sequence never collides across rings.
+  const auto merged = record.merged();
+  std::set<std::uint64_t> seqs;
+  for (std::size_t i = 0; i < merged.size(); ++i) {
+    EXPECT_TRUE(seqs.insert(merged[i].seq).second);
+    if (i > 0) {
+      EXPECT_TRUE(merged[i - 1].ts_us < merged[i].ts_us ||
+                  (merged[i - 1].ts_us == merged[i].ts_us &&
+                   merged[i - 1].seq < merged[i].seq));
+    }
+  }
+}
+
+TEST_F(FlightTest, ClearResetsRingsAndSequence) {
+  FlightRecorder::record(FlightEventKind::kMsgSend, "pre-clear");
+  FlightRecorder::instance().clear();
+  EXPECT_EQ(FlightRecorder::instance().total_recorded(), 0u);
+  FlightRecorder::record(FlightEventKind::kMsgSend, "post-clear");
+  const std::string path = ::testing::TempDir() + "flight_clear.flt";
+  ASSERT_TRUE(FlightRecorder::instance().dump(path));
+  const auto merged = read_flight_record(path).merged();
+  ASSERT_EQ(merged.size(), 1u);
+  EXPECT_EQ(std::string(merged[0].actor), "post-clear");
+  EXPECT_EQ(merged[0].seq, 0u);  // clear() restarts the causal sequence
+}
+
+TEST_F(FlightTest, RejectsMalformedFiles) {
+  EXPECT_THROW(read_flight_record(::testing::TempDir() + "nonexistent.flt"),
+               Error);
+  const std::string path = ::testing::TempDir() + "flight_bad.flt";
+  {
+    FILE* f = fopen(path.c_str(), "wb");
+    ASSERT_NE(f, nullptr);
+    fputs("NOTAFLIGHTRECORD", f);
+    fclose(f);
+  }
+  EXPECT_THROW(read_flight_record(path), Error);
+}
+
+// The crash path: an ELAN_CHECK failure must write a parseable record via
+// the armed async-signal-safe dump before the process dies. Excluded from
+// the tsan_flight label (fork-based death tests and TSan do not mix).
+TEST(FlightDeathTest, CheckFailureDumpsRecord) {
+  const std::string path = ::testing::TempDir() + "flight_death.flt";
+  std::remove(path.c_str());
+  EXPECT_EXIT(
+      {
+        FlightRecorder::set_enabled(true);
+        FlightRecorder::instance().clear();
+        FlightRecorder::instance().arm_crash_dump(path);
+        FlightRecorder::record(FlightEventKind::kMsgSend, "doomed", "t", 7);
+        try {
+          ELAN_CHECK(false, "flight death test");
+        } catch (const Error&) {
+          // The failure hook has already dumped by the time the throw
+          // reaches us; exit the way an uncaught exception's terminate()
+          // would, minus gtest's catch-all in between.
+          std::_Exit(1);
+        }
+      },
+      ::testing::ExitedWithCode(1), "wrote crash record");
+
+  const FlightRecord record = read_flight_record(path);
+  EXPECT_EQ(record.version, 1u);
+  EXPECT_TRUE(record.metrics_text.empty());  // crash records skip metrics
+  const auto merged = record.merged();
+  ASSERT_GE(merged.size(), 2u);
+  EXPECT_EQ(std::string(merged.front().actor), "doomed");
+  const auto& death = merged.back();
+  EXPECT_EQ(static_cast<FlightEventKind>(death.kind),
+            FlightEventKind::kCheckFailed);
+  EXPECT_EQ(std::string(death.detail), "flight_test.cpp");
+  EXPECT_GT(death.a, 0u);  // the failing line number
+}
+
+// --- Satellite: histogram quantile estimator -------------------------------
+
+TEST(HistogramQuantileTest, EmptyAndOutOfRangeAreNaN) {
+  Histogram h({1.0, 2.0});
+  EXPECT_TRUE(std::isnan(h.quantile(0.5)));
+  h.observe(0.5);
+  EXPECT_TRUE(std::isnan(h.quantile(-0.1)));
+  EXPECT_TRUE(std::isnan(h.quantile(1.5)));
+  EXPECT_FALSE(std::isnan(h.quantile(0.5)));
+}
+
+TEST(HistogramQuantileTest, InterpolatesWithinBucket) {
+  Histogram h({10.0});
+  for (int i = 0; i < 4; ++i) h.observe(5.0);
+  // rank = 2 of 4, all in [0, 10]: halfway through the bucket.
+  EXPECT_DOUBLE_EQ(h.quantile(0.5), 5.0);
+  EXPECT_DOUBLE_EQ(h.quantile(0.25), 2.5);
+  EXPECT_DOUBLE_EQ(h.quantile(1.0), 10.0);
+}
+
+TEST(HistogramQuantileTest, WalksCumulativeBuckets) {
+  Histogram h({1.0, 2.0, 4.0});
+  h.observe(0.5);  // le=1
+  h.observe(1.5);  // le=2
+  h.observe(3.0);  // le=4
+  h.observe(10.0); // +Inf
+  // rank 2 lands exactly on the le=2 bucket's upper edge.
+  EXPECT_DOUBLE_EQ(h.quantile(0.5), 2.0);
+  // rank 1 is the le=1 bucket's edge; rank 0.4 interpolates inside it.
+  EXPECT_DOUBLE_EQ(h.quantile(0.25), 1.0);
+  EXPECT_DOUBLE_EQ(h.quantile(0.1), 0.4);
+  // A rank in the +Inf bucket clamps to the highest finite bound.
+  EXPECT_DOUBLE_EQ(h.quantile(0.99), 4.0);
+}
+
+TEST(HistogramQuantileTest, SkipsEmptyBuckets) {
+  Histogram h({1.0, 2.0, 3.0});
+  h.observe(0.5);
+  h.observe(2.5);
+  // rank 1 == cumulative after the first bucket; the empty le=2 bucket must
+  // not produce a bogus interpolation.
+  EXPECT_DOUBLE_EQ(h.quantile(0.5), 1.0);
+  EXPECT_DOUBLE_EQ(h.quantile(1.0), 3.0);
+}
+
+// --- Satellite: Prometheus exposition escaping -----------------------------
+
+TEST(PrometheusEscapeTest, LabelValueEscapes) {
+  EXPECT_EQ(escape_label_value("plain"), "plain");
+  EXPECT_EQ(escape_label_value("a\\b"), "a\\\\b");
+  EXPECT_EQ(escape_label_value("say \"hi\""), "say \\\"hi\\\"");
+  EXPECT_EQ(escape_label_value("line1\nline2"), "line1\\nline2");
+  EXPECT_EQ(escape_label_value("\\\"\n"), "\\\\\\\"\\n");
+}
+
+TEST(PrometheusEscapeTest, HelpEscapesBackslashAndNewlineOnly) {
+  EXPECT_EQ(escape_help("plain help"), "plain help");
+  EXPECT_EQ(escape_help("a\\b\nc"), "a\\\\b\\nc");
+  // Quotes are legal in HELP text and must pass through unescaped.
+  EXPECT_EQ(escape_help("say \"hi\""), "say \"hi\"");
+}
+
+TEST(PrometheusEscapeTest, ExpositionEscapesHostileHelp) {
+  auto& registry = MetricsRegistry::instance();
+  registry.counter("elan_flight_test_hostile_total", "line1\nline2 \\tail");
+  const std::string text = registry.text_exposition();
+  EXPECT_NE(
+      text.find("# HELP elan_flight_test_hostile_total line1\\nline2 \\\\tail\n"),
+      std::string::npos);
+  // No raw newline may survive inside the HELP line.
+  EXPECT_EQ(text.find("# HELP elan_flight_test_hostile_total line1\nline2"),
+            std::string::npos);
+}
+
+}  // namespace
+}  // namespace elan::obs

@@ -40,6 +40,8 @@ EXPECTED = {
                       "serialization_waived.cpp", 2),
     "blocking-handler": ("blocking_handler_violation.cpp", 3,
                          "blocking_handler_waived.cpp", 1),
+    "signal-safety": ("signal_safety_violation.cpp", 7,
+                      "signal_safety_waived.cpp", 2),
 }
 
 failures = []

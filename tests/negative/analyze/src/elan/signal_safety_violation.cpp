@@ -1,0 +1,47 @@
+// elan_analyze negative fixture: signal-safety rule family.
+//
+// Mirrors the flight recorder's crash path: a function named *_signal_safe
+// (the naming convention IS the contract) whose body — and whose TU-local
+// transitive callees — use allocating, locking, and stdio constructs that
+// are not async-signal-safe. Expected findings: seven — two reached through
+// the call graph (push_back, printf) and five directly in the root (a
+// MutexLock guard, `new`, a std::string declaration, a std::vector
+// declaration, and free()).
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+namespace elan {
+
+// Stand-ins for the repo's annotated sync primitives (common/sync.h): the
+// rule matches guard type names, not the underlying mutex implementation.
+struct Mutex {};
+struct MutexLock {
+  explicit MutexLock(Mutex&) {}
+};
+
+Mutex g_crash_mu;  // declaring the mutex is fine; acquiring it is not
+
+// Two hops below the root: container growth allocates.
+static void append_note(std::vector<int>& notes) {
+  notes.push_back(1);
+}
+
+// One hop below the root: stdio buffers and takes the stream lock.
+static void log_death(const char* why) {
+  std::printf("dying: %s\n", why);
+}
+
+void write_crash_record_signal_safe(int fd) {
+  MutexLock hold(g_crash_mu);
+  char* scratch = new char[256];
+  std::string banner = "crash";
+  std::vector<int> notes;
+  append_note(notes);
+  log_death(banner.c_str());
+  std::free(scratch);
+  (void)fd;
+}
+
+}  // namespace elan

@@ -1,0 +1,18 @@
+// elan_analyze negative fixture: signal-safety waivers.
+//
+// The same construct shapes as signal_safety_violation.cpp, each carrying a
+// justified waiver: the analyzer must count two waived findings here and
+// report none.
+#include <cstdio>
+
+namespace elan {
+
+void emergency_banner_signal_safe(char* scratch, int n) {
+  // Test-only banner; stderr stdio accepted while the real writer is stubbed.
+  std::fprintf(stderr, "dying\n");  // elan-analyze: allow(signal-safety)
+  // Prebuilt-buffer formatting happens at arm time in the real recorder.
+  // elan-analyze: allow(signal-safety)
+  std::snprintf(scratch, static_cast<unsigned>(n), "x");
+}
+
+}  // namespace elan

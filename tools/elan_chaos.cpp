@@ -16,6 +16,7 @@
 #include "common/flags.h"
 #include "common/log.h"
 #include "fault/chaos.h"
+#include "obs/obs.h"
 
 namespace {
 
@@ -42,6 +43,13 @@ int main(int argc, char** argv) {
   flags.define("budget-seconds", "0", "stop after this much wall time (0 = run all plans)");
   flags.define("check-determinism", "false", "run each plan twice and compare fingerprints");
   flags.define("verbose", "false", "print every plan and result, not just failures");
+  flags.define("trace", "", "write a Chrome trace-event JSON here (same as ELAN_TRACE)");
+  flags.define("flight", "",
+               "enable the flight recorder; a failing seed dumps <prefix>.seed<seed>.flt "
+               "for elan_postmortem");
+  flags.define("scripted-failure", "false",
+               "run the deterministic scripted-failure plan instead of sampled seeds "
+               "(exercises the flight-record pipeline; exit 0 iff it fails as scripted)");
   elan::define_log_level_flag(flags);
 
   try {
@@ -55,6 +63,31 @@ int main(int argc, char** argv) {
     return 0;
   }
   elan::apply_log_level_flag(flags);
+
+  const std::string trace = flags.get("trace");
+  if (!trace.empty()) ::setenv("ELAN_TRACE", trace.c_str(), 1);
+  elan::obs::init_from_env();
+  const std::string flight = flags.get("flight");
+  if (!flight.empty()) {
+    ChaosRunner::set_flight_prefix(flight);
+    elan::obs::FlightRecorder::set_enabled(true);
+    elan::obs::FlightRecorder::instance().arm_crash_dump(flight + ".crash.flt");
+  }
+
+  if (flags.get_bool("scripted-failure")) {
+    const auto plan = ChaosRunner::scripted_failure_plan();
+    const auto result = ChaosRunner::run_plan(plan);
+    std::printf("%s\n%s\n", plan.describe().c_str(), result.describe().c_str());
+    if (!result.flight_record.empty()) {
+      std::printf("postmortem: elan_postmortem %s\n", result.flight_record.c_str());
+    }
+    if (result.ok()) {
+      std::fprintf(stderr, "scripted-failure plan unexpectedly passed\n");
+      return 1;
+    }
+    std::printf("scripted failure reproduced as designed\n");
+    return 0;
+  }
 
   const std::uint64_t seed_base = parse_seed(flags.get("seed"));
   const int plans = static_cast<int>(flags.get_int("plans"));
@@ -89,6 +122,11 @@ int main(int argc, char** argv) {
     if (!result.ok()) {
       ++failed;
       std::printf("%s\n%s\n", plan.describe().c_str(), result.describe().c_str());
+      std::printf("reproduce: elan_chaos --seed=%llu --plans=1 --verbose\n",
+                  static_cast<unsigned long long>(seed));
+      if (!result.flight_record.empty()) {
+        std::printf("postmortem: elan_postmortem %s\n", result.flight_record.c_str());
+      }
     } else if (verbose) {
       std::printf("%s\n", result.describe().c_str());
     }
