@@ -19,7 +19,7 @@ const char* to_string(AmPhase phase) {
   return "?";
 }
 
-ApplicationMaster::ApplicationMaster(transport::MessageBus& bus, transport::KvStore& kv,
+ApplicationMaster::ApplicationMaster(transport::RawTransport& bus, transport::KvStore& kv,
                                      std::string job_id,
                                      std::vector<WorkerLaunchSpec> initial_workers,
                                      AmParams params)
@@ -33,7 +33,7 @@ ApplicationMaster::ApplicationMaster(transport::MessageBus& bus, transport::KvSt
   persist();
 }
 
-ApplicationMaster::ApplicationMaster(transport::MessageBus& bus, transport::KvStore& kv,
+ApplicationMaster::ApplicationMaster(transport::RawTransport& bus, transport::KvStore& kv,
                                      std::string job_id, AmParams params)
     : bus_(bus), kv_(kv), job_id_(std::move(job_id)), name_("am/" + job_id_),
       params_(params) {
@@ -73,7 +73,7 @@ void ApplicationMaster::set_phase_locked(AmPhase next) {
 void ApplicationMaster::arm_report_timer_locked() {
   cancel_report_timer_locked();
   auto token = alive_token_;
-  report_timer_ = bus_.simulator().schedule(params_.report_timeout, [this, token] {
+  report_timer_ = bus_.schedule_after(params_.report_timeout, [this, token] {
     if (!token->load()) return;
     on_report_timeout();
   });
@@ -81,7 +81,7 @@ void ApplicationMaster::arm_report_timer_locked() {
 
 void ApplicationMaster::cancel_report_timer_locked() {
   if (report_timer_ != 0) {
-    bus_.simulator().cancel(report_timer_);
+    bus_.cancel_timer(report_timer_);
     report_timer_ = 0;
   }
 }
@@ -132,6 +132,12 @@ void ApplicationMaster::handle(const transport::Message& msg) {
     on_coordinate(CoordinateMsg::deserialize(msg.payload), msg.from);
   } else if (msg.type == "adjust_request") {
     on_adjust_request(AdjustRequestMsg::deserialize(msg.payload), msg.from);
+  } else if (msg.type == "adjust_complete") {
+    on_adjust_complete_msg(AdjustCompleteMsg::deserialize(msg.payload));
+  } else if (msg.type == "remove_failed") {
+    remove_failed(RemoveFailedMsg::deserialize(msg.payload).worker);
+  } else if (msg.type == "status") {
+    on_status(StatusRequestMsg::deserialize(msg.payload), msg.from);
   } else {
     log_warn() << name_ << ": unknown message type " << msg.type;
   }
@@ -321,6 +327,10 @@ void ApplicationMaster::on_coordinate(const CoordinateMsg& msg, const std::strin
 void ApplicationMaster::on_adjustment_complete(const std::vector<int>& failed_joins) {
   MutexLock lock(mu_);
   require(phase_ == AmPhase::kAdjusting, "AM: no adjustment in flight");
+  complete_locked(failed_joins);
+}
+
+void ApplicationMaster::complete_locked(const std::vector<int>& failed_joins) {
   for (const auto& [id, gpu] : plan_.join) {
     if (std::find(failed_joins.begin(), failed_joins.end(), id) != failed_joins.end()) {
       continue;  // died between reporting and admission
@@ -332,6 +342,35 @@ void ApplicationMaster::on_adjustment_complete(const std::vector<int>& failed_jo
   plan_.version = 0;
   set_phase_locked(AmPhase::kSteady);
   persist();
+}
+
+void ApplicationMaster::on_adjust_complete_msg(const AdjustCompleteMsg& msg) {
+  MutexLock lock(mu_);
+  if (phase_ != AmPhase::kAdjusting || msg.plan_version != plan_.version) {
+    // Duplicate (the runtime re-sent after a lost ack) or a completion for a
+    // plan that already finished: idempotent no-op, unlike the in-process
+    // on_adjustment_complete which treats this as a programming error.
+    log_debug() << name_ << ": ignoring adjust_complete for plan v" << msg.plan_version
+                << " (phase " << to_string(phase_) << ", plan v" << plan_.version << ")";
+    return;
+  }
+  complete_locked(msg.failed_joins);
+}
+
+void ApplicationMaster::on_status(const StatusRequestMsg& msg, const std::string& reply_to) {
+  StatusReplyMsg reply;
+  reply.request_id = msg.request_id;
+  {
+    MutexLock lock(mu_);
+    reply.phase = static_cast<std::uint8_t>(phase_);
+    reply.plan_version = plan_.version;
+    reply.workers = workers_;
+    reply.evictions = evictions_;
+    reply.coordinations = coordinations_;
+    reply.reports = reports_received_;
+  }
+  // Reply with no AM lock held, like every other message path.
+  endpoint_->send(reply_to, "status_reply", reply.serialize());
 }
 
 void ApplicationMaster::remove_failed(int worker) {
@@ -392,7 +431,7 @@ void ApplicationMaster::restore_from_bytes(std::span<const std::uint8_t> data) {
   if (phase_ == AmPhase::kWaitingReady) arm_report_timer_locked();
 }
 
-std::unique_ptr<ApplicationMaster> ApplicationMaster::recover(transport::MessageBus& bus,
+std::unique_ptr<ApplicationMaster> ApplicationMaster::recover(transport::RawTransport& bus,
                                                               transport::KvStore& kv,
                                                               const std::string& job_id,
                                                               AmParams params) {

@@ -60,7 +60,7 @@ struct AmParams {
 
 class ApplicationMaster {
  public:
-  ApplicationMaster(transport::MessageBus& bus, transport::KvStore& kv, std::string job_id,
+  ApplicationMaster(transport::RawTransport& bus, transport::KvStore& kv, std::string job_id,
                     std::vector<WorkerLaunchSpec> initial_workers, AmParams params = {});
   ~ApplicationMaster();
 
@@ -124,7 +124,7 @@ class ApplicationMaster {
 
   /// Rebuilds an AM from the state machine persisted in the KV store. A
   /// recovery landing in kWaitingReady re-arms the report timeout.
-  static std::unique_ptr<ApplicationMaster> recover(transport::MessageBus& bus,
+  static std::unique_ptr<ApplicationMaster> recover(transport::RawTransport& bus,
                                                     transport::KvStore& kv,
                                                     const std::string& job_id,
                                                     AmParams params = {});
@@ -158,10 +158,10 @@ class ApplicationMaster {
   }
 
  private:
-  ApplicationMaster(transport::MessageBus& bus, transport::KvStore& kv, std::string job_id,
+  ApplicationMaster(transport::RawTransport& bus, transport::KvStore& kv, std::string job_id,
                     AmParams params);
 
-  transport::MessageBus& bus_;
+  transport::RawTransport& bus_;
   transport::KvStore& kv_;
   std::string job_id_;
   std::string name_;
@@ -190,9 +190,11 @@ class ApplicationMaster {
   std::uint64_t coordinations_ ELAN_GUARDED_BY(mu_) = 0;
   std::uint64_t evictions_ ELAN_GUARDED_BY(mu_) = 0;
   PhaseListener phase_listener_ ELAN_GUARDED_BY(mu_);
-  // Report-timeout timer for the current kWaitingReady stay. The token
-  // outlives the AM so a timer firing after destruction is a no-op.
-  sim::EventId report_timer_ ELAN_GUARDED_BY(mu_) = 0;
+  // Report-timeout timer for the current kWaitingReady stay, in the
+  // transport's time domain (virtual over the sim bus, wall-clock over
+  // sockets). The token outlives the AM so a timer firing after destruction
+  // is a no-op.
+  transport::TimerId report_timer_ ELAN_GUARDED_BY(mu_) = 0;
   std::shared_ptr<std::atomic<bool>> alive_token_ =
       std::make_shared<std::atomic<bool>>(true);
 
@@ -204,6 +206,12 @@ class ApplicationMaster {
   void on_report(const ReportMsg& msg);
   void on_coordinate(const CoordinateMsg& msg, const std::string& reply_to);
   void on_adjust_request(const AdjustRequestMsg& msg, const std::string& reply_to);
+  // Message-path variant of on_adjustment_complete: an external job runtime
+  // (the live launcher) signals completion over the wire. Tolerant of
+  // duplicates and stale plan versions (re-sends after lost acks).
+  void on_adjust_complete_msg(const AdjustCompleteMsg& msg);
+  void on_status(const StatusRequestMsg& msg, const std::string& reply_to);
+  void complete_locked(const std::vector<int>& failed_joins) ELAN_REQUIRES(mu_);
   // Unlocked cores of the service API; the public wrappers and the message
   // path (which already holds the lock) both funnel here.
   std::vector<WorkerLaunchSpec> scale_out_locked(const std::vector<topo::GpuId>& gpus)

@@ -141,4 +141,81 @@ AdjustReplyMsg AdjustReplyMsg::deserialize(std::span<const std::uint8_t> data) {
   return m;
 }
 
+std::vector<std::uint8_t> AdjustCompleteMsg::serialize() const {
+  BinaryWriter w;
+  w.write(plan_version);
+  w.write<std::uint64_t>(failed_joins.size());
+  for (int id : failed_joins) w.write(id);
+  return w.take();
+}
+
+AdjustCompleteMsg AdjustCompleteMsg::deserialize(std::span<const std::uint8_t> data) {
+  BinaryReader r(data);
+  AdjustCompleteMsg m;
+  m.plan_version = r.read<std::uint64_t>();
+  const auto n = r.read<std::uint64_t>();
+  for (std::uint64_t i = 0; i < n; ++i) m.failed_joins.push_back(r.read<int>());
+  return m;
+}
+
+std::vector<std::uint8_t> RemoveFailedMsg::serialize() const {
+  BinaryWriter w;
+  w.write(worker);
+  return w.take();
+}
+
+RemoveFailedMsg RemoveFailedMsg::deserialize(std::span<const std::uint8_t> data) {
+  BinaryReader r(data);
+  RemoveFailedMsg m;
+  m.worker = r.read<int>();
+  return m;
+}
+
+std::vector<std::uint8_t> StatusRequestMsg::serialize() const {
+  BinaryWriter w;
+  w.write(request_id);
+  return w.take();
+}
+
+StatusRequestMsg StatusRequestMsg::deserialize(std::span<const std::uint8_t> data) {
+  BinaryReader r(data);
+  StatusRequestMsg m;
+  m.request_id = r.read<std::uint64_t>();
+  return m;
+}
+
+std::vector<std::uint8_t> StatusReplyMsg::serialize() const {
+  BinaryWriter w;
+  w.write(request_id);
+  w.write(phase);
+  w.write(plan_version);
+  w.write<std::uint64_t>(workers.size());
+  for (const auto& [id, gpu] : workers) {
+    w.write(id);
+    w.write(gpu);
+  }
+  w.write(evictions);
+  w.write(coordinations);
+  w.write(reports);
+  return w.take();
+}
+
+StatusReplyMsg StatusReplyMsg::deserialize(std::span<const std::uint8_t> data) {
+  BinaryReader r(data);
+  StatusReplyMsg m;
+  m.request_id = r.read<std::uint64_t>();
+  m.phase = r.read<std::uint8_t>();
+  m.plan_version = r.read<std::uint64_t>();
+  const auto n = r.read<std::uint64_t>();
+  for (std::uint64_t i = 0; i < n; ++i) {
+    const int id = r.read<int>();
+    const auto gpu = r.read<topo::GpuId>();
+    m.workers.emplace(id, gpu);
+  }
+  m.evictions = r.read<std::uint64_t>();
+  m.coordinations = r.read<std::uint64_t>();
+  m.reports = r.read<std::uint64_t>();
+  return m;
+}
+
 }  // namespace elan

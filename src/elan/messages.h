@@ -89,4 +89,49 @@ struct AdjustReplyMsg {
   static AdjustReplyMsg deserialize(std::span<const std::uint8_t> data);
 };
 
+/// Job runtime / launcher -> AM: the adjustment for `plan_version` finished
+/// (replication / repartition done). The wire form of
+/// ApplicationMaster::on_adjustment_complete, used when the runtime is a
+/// separate process. Idempotent at the AM: stale versions are ignored.
+struct AdjustCompleteMsg {
+  std::uint64_t plan_version = 0;
+  /// Planned joiners that died between reporting and admission.
+  std::vector<int> failed_joins;
+
+  std::vector<std::uint8_t> serialize() const;
+  static AdjustCompleteMsg deserialize(std::span<const std::uint8_t> data);
+};
+
+/// Launcher / runtime -> AM: a running worker fail-stopped (process reaped).
+/// Wire form of ApplicationMaster::remove_failed.
+struct RemoveFailedMsg {
+  int worker = -1;
+
+  std::vector<std::uint8_t> serialize() const;
+  static RemoveFailedMsg deserialize(std::span<const std::uint8_t> data);
+};
+
+/// Any control-plane peer -> AM: introspection poll (the live launcher's
+/// steady-state / phase probe).
+struct StatusRequestMsg {
+  std::uint64_t request_id = 0;  // correlates the reply
+
+  std::vector<std::uint8_t> serialize() const;
+  static StatusRequestMsg deserialize(std::span<const std::uint8_t> data);
+};
+
+/// AM -> poller: state-machine snapshot.
+struct StatusReplyMsg {
+  std::uint64_t request_id = 0;
+  std::uint8_t phase = 0;  // static_cast of AmPhase (messages stay AM-agnostic)
+  std::uint64_t plan_version = 0;
+  std::map<int, topo::GpuId> workers;  // current membership (worker -> GPU)
+  std::uint64_t evictions = 0;
+  std::uint64_t coordinations = 0;
+  std::uint64_t reports = 0;
+
+  std::vector<std::uint8_t> serialize() const;
+  static StatusReplyMsg deserialize(std::span<const std::uint8_t> data);
+};
+
 }  // namespace elan

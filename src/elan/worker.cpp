@@ -20,7 +20,7 @@ const char* to_string(WorkerState state) {
   return "?";
 }
 
-WorkerProcess::WorkerProcess(sim::Simulator& simulator, transport::MessageBus& bus,
+WorkerProcess::WorkerProcess(sim::Simulator& simulator, transport::RawTransport& bus,
                              const std::string& job_id, int id, topo::GpuId gpu,
                              const train::ModelSpec& model, train::EngineKind engine_kind,
                              WorkerParams params, Rng rng, bool already_running,

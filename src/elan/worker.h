@@ -57,7 +57,7 @@ class WorkerProcess {
   /// `engine_factory` is set it supplies the training engine (a custom
   /// framework integration); otherwise `engine_kind` selects one of the
   /// built-in cost-modelled engines.
-  WorkerProcess(sim::Simulator& simulator, transport::MessageBus& bus,
+  WorkerProcess(sim::Simulator& simulator, transport::RawTransport& bus,
                 const std::string& job_id, int id, topo::GpuId gpu,
                 const train::ModelSpec& model, train::EngineKind engine_kind,
                 WorkerParams params, Rng rng, bool already_running,

@@ -329,6 +329,8 @@ const char* to_string(FlightEventKind kind) {
     case FlightEventKind::kFaultInjected: return "fault.injected";
     case FlightEventKind::kLockOrderHit: return "death.lock_order";
     case FlightEventKind::kCheckFailed: return "death.check_failed";
+    case FlightEventKind::kSockError: return "sock.error";
+    case FlightEventKind::kLinkState: return "sock.link_state";
   }
   return "unknown";
 }

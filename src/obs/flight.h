@@ -84,6 +84,10 @@ enum class FlightEventKind : std::uint8_t {
   kFaultInjected = 50, // detail = truncated description
   kLockOrderHit = 51,  // lock-order detector fired (process is about to die)
   kCheckFailed = 52,   // a = line; detail = file basename
+
+  // Socket transport backend (src/transport/socket_transport.cpp).
+  kSockError = 60, // a = SocketError value; actor = peer/conn; detail = name
+  kLinkState = 61, // a = prev state, b = next state; actor = peer; detail = next name
 };
 
 const char* to_string(FlightEventKind kind);

@@ -97,9 +97,12 @@ void MessageBus::deliver(const Message& msg) {
   handler(msg);
 }
 
-ReliableEndpoint::ReliableEndpoint(MessageBus& bus, std::string name, Handler handler,
-                                   Params params)
-    : bus_(bus), name_(std::move(name)), handler_(std::move(handler)), params_(params) {
+ReliableEndpoint::ReliableEndpoint(RawTransport& bus, std::string name, Handler handler,
+                                   std::optional<TransportOptions> params)
+    : bus_(bus),
+      name_(std::move(name)),
+      handler_(std::move(handler)),
+      params_(params.value_or(bus.default_options())) {
   require(static_cast<bool>(handler_), "ReliableEndpoint: empty handler");
   restart();
 }
@@ -110,7 +113,7 @@ ReliableEndpoint::~ReliableEndpoint() {
 }
 
 void ReliableEndpoint::shutdown() {
-  std::vector<sim::EventId> timers;
+  std::vector<TimerId> timers;
   {
     MutexLock lock(mu_);
     if (!alive_) return;
@@ -120,10 +123,10 @@ void ReliableEndpoint::shutdown() {
     }
     pending_.clear();
   }
-  // Outside the endpoint lock: detach locks the bus, cancel locks the
-  // simulator; neither needs our state anymore.
+  // Outside the endpoint lock: detach locks the transport, cancel locks its
+  // timer source; neither needs our state anymore.
   bus_.detach(name_);
-  for (sim::EventId t : timers) bus_.simulator().cancel(t);
+  for (TimerId t : timers) bus_.cancel_timer(t);
 }
 
 void ReliableEndpoint::restart() {
@@ -179,7 +182,7 @@ void ReliableEndpoint::arm_timer(MessageId id) {
     wait *= params_.backoff_factor;
   }
   wait = std::min(wait, std::max(params_.ack_timeout, params_.max_backoff));
-  p.timer = bus_.simulator().schedule(wait, [this, token, id]() {
+  p.timer = bus_.schedule_after(wait, [this, token, id]() {
     if (!token->load()) return;
     MutexLock lock(mu_);
     auto it = pending_.find(id);
@@ -200,7 +203,7 @@ void ReliableEndpoint::arm_timer(MessageId id) {
 
 void ReliableEndpoint::on_raw(const Message& msg) {
   if (msg.is_ack) {
-    sim::EventId timer = 0;
+    TimerId timer = 0;
     {
       MutexLock lock(mu_);
       auto it = pending_.find(msg.ack_of);
@@ -209,7 +212,7 @@ void ReliableEndpoint::on_raw(const Message& msg) {
         pending_.erase(it);
       }
     }
-    if (timer != 0) bus_.simulator().cancel(timer);
+    if (timer != 0) bus_.cancel_timer(timer);
     return;
   }
 
@@ -225,7 +228,7 @@ void ReliableEndpoint::on_raw(const Message& msg) {
   bool fresh = false;
   {
     MutexLock lock(mu_);
-    fresh = seen_.insert(msg.id).second;
+    fresh = seen_.insert({msg.from, msg.id}).second;
   }
   if (!fresh) {
     log_trace() << name_ << ": duplicate message " << msg.id << " suppressed";

@@ -4,7 +4,10 @@
 // size on the control (Ethernet) network, can be dropped by fault injection,
 // and are silently lost when the destination endpoint is disconnected.
 // ReliableEndpoint layers unique message ids, acknowledgements, timeouts and
-// resends on top — exactly the fault-tolerance story of paper §V-D.
+// resends on top — exactly the fault-tolerance story of paper §V-D. Both are
+// written against the RawTransport seam (transport/transport.h), so the same
+// ReliableEndpoint (and everything above it) also runs over the socket
+// backend.
 //
 // Thread safety: both classes are fully thread-safe — send / attach / detach
 // and the stats accessors may race freely (the §V-B coordination loop runs
@@ -19,8 +22,10 @@
 #include <functional>
 #include <map>
 #include <memory>
+#include <optional>
 #include <set>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/rng.h"
@@ -29,6 +34,7 @@
 #include "sim/simulator.h"
 #include "topology/bandwidth.h"
 #include "transport/message.h"
+#include "transport/transport.h"
 
 namespace elan::transport {
 
@@ -38,14 +44,6 @@ struct BusParams {
   /// Extra random latency jitter as a fraction of base latency.
   double jitter_fraction = 0.1;
   std::uint64_t seed = 7;
-};
-
-/// Statistics for tests and benches.
-struct BusStats {
-  std::uint64_t sent = 0;
-  std::uint64_t delivered = 0;
-  std::uint64_t dropped = 0;
-  std::uint64_t to_unknown = 0;
 };
 
 /// Verdict of a fault filter for one message (see set_fault_filter).
@@ -61,48 +59,49 @@ struct FaultDecision {
 /// is the canonical implementation (partitions, drop windows, slow links).
 using FaultFilter = std::function<FaultDecision(const Message&, Seconds now)>;
 
-class MessageBus {
+class MessageBus final : public RawTransport {
  public:
-  using Handler = std::function<void(const Message&)>;
+  using Handler = RawTransport::Handler;
 
   MessageBus(sim::Simulator& simulator, const topo::BandwidthModel& bandwidth,
              BusParams params = {});
 
-  /// Registers (or re-registers after a disconnect) an endpoint.
-  void attach(const std::string& name, Handler handler);
+  void attach(const std::string& name, Handler handler) override;
+  void detach(const std::string& name) override;
 
-  /// Removes an endpoint; in-flight messages to it are lost (ZeroMQ peer
-  /// restart). Safe to call for unknown names.
-  void detach(const std::string& name);
-
-  bool attached(const std::string& name) const {
+  bool attached(const std::string& name) const override {
     MutexLock lock(mu_);
     return handlers_.count(name) > 0;
   }
 
-  /// Sends unreliably. Assigns a fresh id if msg.id == 0. Returns the id.
-  MessageId send(Message msg);
+  MessageId send(Message msg) override;
 
-  /// Reserves a globally unique message id without sending anything.
-  MessageId allocate_id() {
+  MessageId allocate_id() override {
     MutexLock lock(mu_);
     return next_id_++;
+  }
+
+  /// Timers run on the simulator's virtual clock (TimerId == sim::EventId).
+  TimerId schedule_after(Seconds delay, std::function<void()> fn) override {
+    return sim_.schedule(delay, std::move(fn));
+  }
+  void cancel_timer(TimerId id) override { sim_.cancel(id); }
+
+  TransportOptions default_options() const override {
+    return TransportOptions::sim_defaults();
   }
 
   /// Latency the bus would charge for a message of `payload_bytes`.
   Seconds message_latency(Bytes payload_bytes) const;
 
-  /// Snapshot of the counters (by value: the bus keeps mutating them).
-  BusStats stats() const {
+  BusStats stats() const override {
     MutexLock lock(mu_);
     return stats_;
   }
 
   sim::Simulator& simulator() { return sim_; }
 
-  /// Fault injection: force-drop the next `n` messages sent from `from` (any
-  /// destination). Used by fault-tolerance tests.
-  void inject_drops(const std::string& from, int n) {
+  void inject_drops(const std::string& from, int n) override {
     MutexLock lock(mu_);
     forced_drops_[from] += n;
   }
@@ -133,26 +132,22 @@ class MessageBus {
   void deliver(const Message& msg);
 };
 
-struct ReliableParams {
-  Seconds ack_timeout = milliseconds(50.0);
-  int max_retries = 100;  // ZeroMQ keeps trying to reconnect; bounded for sim hygiene
-  /// Resend delays grow geometrically (ack_timeout * backoff_factor^n) up to
-  /// max_backoff, so max_retries buys a long give-up horizon — long enough
-  /// to span an AM crash + restart (§V-D) — without flooding the bus.
-  double backoff_factor = 2.0;
-  Seconds max_backoff = 5.0;
-};
+/// Historical name for the retry knobs, kept for sim-side call sites.
+using ReliableParams = TransportOptions;
 
 /// Reliable messaging endpoint: unique ids, ack, timeout-based resend and
-/// receiver-side de-duplication. Thread-safe (see the file comment); the
-/// application handler runs with no endpoint lock held.
+/// receiver-side de-duplication, over any RawTransport backend. Thread-safe
+/// (see the file comment); the application handler runs with no endpoint
+/// lock held. When constructed without explicit options it adopts the
+/// backend's default_options(), so the same construction works in virtual
+/// and wall-clock time.
 class ReliableEndpoint {
  public:
   using Handler = std::function<void(const Message&)>;
-  using Params = ReliableParams;
+  using Params = TransportOptions;
 
-  ReliableEndpoint(MessageBus& bus, std::string name, Handler handler,
-                   ReliableParams params = ReliableParams());
+  ReliableEndpoint(RawTransport& bus, std::string name, Handler handler,
+                   std::optional<TransportOptions> params = std::nullopt);
   ~ReliableEndpoint();
 
   ReliableEndpoint(const ReliableEndpoint&) = delete;
@@ -165,11 +160,12 @@ class ReliableEndpoint {
   /// the same buffer.
   MessageId send(const std::string& to, const std::string& type, Payload payload = {});
 
-  /// Detach from the bus (simulates process death); pending retries stop.
+  /// Detach from the transport (simulates process death); pending retries stop.
   void shutdown();
 
   /// Re-attach after shutdown (simulates restart). Duplicate suppression
-  /// state is intentionally kept: message ids are globally unique.
+  /// state is intentionally kept: ids are unique per sending transport, so
+  /// (sender, id) stays a stable dedup key across our own restarts.
   void restart();
 
   std::uint64_t retries() const {
@@ -181,14 +177,16 @@ class ReliableEndpoint {
     return gave_up_;
   }
 
+  const TransportOptions& options() const { return params_; }
+
  private:
   struct Pending {
     Message msg;
     int attempts = 0;
-    sim::EventId timer = 0;
+    TimerId timer = 0;
   };
 
-  MessageBus& bus_;
+  RawTransport& bus_;
   std::string name_;
   Handler handler_;
   Params params_;
@@ -196,7 +194,10 @@ class ReliableEndpoint {
   mutable Mutex mu_{"reliable_endpoint"};
   bool alive_ ELAN_GUARDED_BY(mu_) = false;
   std::map<MessageId, Pending> pending_ ELAN_GUARDED_BY(mu_);
-  std::set<MessageId> seen_ ELAN_GUARDED_BY(mu_);  // receiver-side dedup
+  /// Receiver-side dedup, keyed (sender, id): ids are only unique per
+  /// sending transport instance, and with the socket backend every process
+  /// allocates its own.
+  std::set<std::pair<std::string, MessageId>> seen_ ELAN_GUARDED_BY(mu_);
   std::uint64_t retries_ ELAN_GUARDED_BY(mu_) = 0;
   std::uint64_t gave_up_ ELAN_GUARDED_BY(mu_) = 0;
   // Guards callbacks that may fire after destruction.

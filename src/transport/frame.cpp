@@ -1,0 +1,150 @@
+#include "transport/frame.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "common/serialize.h"
+
+namespace elan::transport {
+
+std::vector<std::uint8_t> encode_frame_head(const Message& msg) {
+  BinaryWriter w;
+  w.write(kFrameMagic);
+  w.write(kFrameVersion);
+  w.write<std::uint16_t>(msg.is_ack ? 1 : 0);
+  w.write(msg.id);
+  w.write(msg.ack_of);
+  const std::uint32_t body_len = static_cast<std::uint32_t>(
+      msg.from.size() + msg.to.size() + msg.type.size() + msg.payload.size());
+  w.write(body_len);
+  w.write(static_cast<std::uint16_t>(msg.from.size()));
+  w.write(static_cast<std::uint16_t>(msg.to.size()));
+  w.write(static_cast<std::uint16_t>(msg.type.size()));
+  w.write<std::uint16_t>(0);  // reserved
+  w.write(static_cast<std::uint32_t>(msg.payload.size()));
+  auto head = w.take();
+  head.insert(head.end(), msg.from.begin(), msg.from.end());
+  head.insert(head.end(), msg.to.begin(), msg.to.end());
+  head.insert(head.end(), msg.type.begin(), msg.type.end());
+  return head;
+}
+
+std::vector<std::uint8_t> encode_frame(const Message& msg) {
+  auto bytes = encode_frame_head(msg);
+  bytes.insert(bytes.end(), msg.payload.begin(), msg.payload.end());
+  return bytes;
+}
+
+SocketError decode_frame_header(std::span<const std::uint8_t> bytes,
+                                const FrameLimits& limits, FrameHeader* out) {
+  if (bytes.size() < kFrameHeaderSize) return SocketError::kTruncatedHeader;
+  BinaryReader r(bytes.first(kFrameHeaderSize));
+  FrameHeader h;
+  h.magic = r.read<std::uint32_t>();
+  if (h.magic != kFrameMagic) return SocketError::kBadMagic;
+  h.version = r.read<std::uint16_t>();
+  if (h.version != kFrameVersion) return SocketError::kBadVersion;
+  h.flags = r.read<std::uint16_t>();
+  if ((h.flags & ~std::uint16_t{1}) != 0) return SocketError::kMalformedHeader;
+  h.id = r.read<std::uint64_t>();
+  h.ack_of = r.read<std::uint64_t>();
+  h.body_len = r.read<std::uint32_t>();
+  h.from_len = r.read<std::uint16_t>();
+  h.to_len = r.read<std::uint16_t>();
+  h.type_len = r.read<std::uint16_t>();
+  h.reserved = r.read<std::uint16_t>();
+  if (h.reserved != 0) return SocketError::kMalformedHeader;
+  h.payload_len = r.read<std::uint32_t>();
+  const std::size_t names =
+      std::size_t{h.from_len} + h.to_len + h.type_len;
+  if (h.from_len > limits.max_name || h.to_len > limits.max_name ||
+      h.type_len > limits.max_name || h.payload_len > limits.max_payload) {
+    return SocketError::kOversizedFrame;
+  }
+  if (h.body_len != names + h.payload_len) return SocketError::kBodyLengthMismatch;
+  *out = h;
+  return SocketError::kOk;
+}
+
+SocketError FrameDecoder::feed(std::span<const std::uint8_t> bytes, const Sink& sink) {
+  while (!bytes.empty() || (state_ == State::kStrings && strings_fill_ == strings_.size()) ||
+         (state_ == State::kPayload && payload_fill_ == payload_.size())) {
+    switch (state_) {
+      case State::kPoisoned:
+        return error_;
+      case State::kHeader: {
+        const std::size_t take =
+            std::min(bytes.size(), kFrameHeaderSize - head_fill_);
+        std::memcpy(head_.data() + head_fill_, bytes.data(), take);
+        head_fill_ += take;
+        bytes = bytes.subspan(take);
+        if (head_fill_ < kFrameHeaderSize) return SocketError::kOk;
+        const SocketError e =
+            decode_frame_header(std::span(head_.data(), head_fill_), limits_, &hdr_);
+        if (e != SocketError::kOk) return poison(e);
+        strings_.resize(std::size_t{hdr_.from_len} + hdr_.to_len + hdr_.type_len);
+        strings_fill_ = 0;
+        payload_.clear();
+        payload_.resize(hdr_.payload_len);
+        payload_fill_ = 0;
+        state_ = State::kStrings;
+        break;
+      }
+      case State::kStrings: {
+        const std::size_t take =
+            std::min(bytes.size(), strings_.size() - strings_fill_);
+        if (take > 0) {
+          std::memcpy(strings_.data() + strings_fill_, bytes.data(), take);
+          strings_fill_ += take;
+          bytes = bytes.subspan(take);
+        }
+        if (strings_fill_ < strings_.size()) return SocketError::kOk;
+        state_ = State::kPayload;
+        break;
+      }
+      case State::kPayload: {
+        const std::size_t take =
+            std::min(bytes.size(), payload_.size() - payload_fill_);
+        if (take > 0) {
+          std::memcpy(payload_.data() + payload_fill_, bytes.data(), take);
+          payload_fill_ += take;
+          bytes = bytes.subspan(take);
+        }
+        if (payload_fill_ < payload_.size()) return SocketError::kOk;
+        Message msg;
+        const char* s = reinterpret_cast<const char*>(strings_.data());
+        msg.from.assign(s, hdr_.from_len);
+        msg.to.assign(s + hdr_.from_len, hdr_.to_len);
+        msg.type.assign(s + hdr_.from_len + hdr_.to_len, hdr_.type_len);
+        msg.id = hdr_.id;
+        msg.is_ack = (hdr_.flags & 1) != 0;
+        msg.ack_of = hdr_.ack_of;
+        // The one receive-side buffer wrap: the payload vector becomes the
+        // Payload, no further copies downstream.
+        msg.payload = Payload(std::move(payload_));
+        payload_ = {};
+        ++frames_;
+        sink(std::move(msg));
+        head_fill_ = 0;
+        state_ = State::kHeader;
+        break;
+      }
+    }
+  }
+  return SocketError::kOk;
+}
+
+SocketError FrameDecoder::finish() const {
+  switch (state_) {
+    case State::kPoisoned:
+      return error_;
+    case State::kHeader:
+      return head_fill_ == 0 ? SocketError::kOk : SocketError::kTruncatedHeader;
+    case State::kStrings:
+    case State::kPayload:
+      return SocketError::kShortRead;
+  }
+  return SocketError::kOk;
+}
+
+}  // namespace elan::transport

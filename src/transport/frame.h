@@ -1,0 +1,129 @@
+// Wire format of the socket transport: length-prefixed binary frames with a
+// versioned magic header.
+//
+// Layout (little-endian, 40-byte fixed header, then the variable body):
+//
+//   offset  size  field
+//        0     4  magic        0x454C414E ("ELAN")
+//        4     2  version      kFrameVersion; other values are kBadVersion
+//        6     2  flags        bit 0 = is_ack; other bits must be zero
+//        8     8  id           MessageId
+//       16     8  ack_of       MessageId this frame acknowledges (acks only)
+//       24     4  body_len     from_len + to_len + type_len + payload_len
+//       28     2  from_len     sender endpoint name length
+//       30     2  to_len       destination endpoint name length
+//       32     2  type_len     message type string length
+//       34     2  reserved     must be zero
+//       36     4  payload_len  payload byte count
+//       40     …  body         from · to · type · payload, concatenated
+//
+// The redundant body_len exists so a receiver can reject an inconsistent
+// header (kBodyLengthMismatch) before buffering the body — a cheap integrity
+// check on top of SOCK_STREAM.
+//
+// Everything here is pure (no sockets, no clocks): encode_* builds byte
+// vectors, FrameDecoder turns an arbitrary-chunked byte stream back into
+// Messages. That purity is what the framing fuzz tests exercise — every
+// malformed input must map to a typed SocketError, never a hang or abort.
+//
+// Zero-copy contract: encode_frame_head emits header+names only; the send
+// path writes the Payload's own buffer alongside it (writev), and the decoder
+// materialises each payload into exactly one fresh buffer.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/units.h"
+#include "transport/message.h"
+#include "transport/socket_error.h"
+
+namespace elan::transport {
+
+inline constexpr std::uint32_t kFrameMagic = 0x454C414E;  // "ELAN"
+inline constexpr std::uint16_t kFrameVersion = 1;
+inline constexpr std::size_t kFrameHeaderSize = 40;
+
+struct FrameLimits {
+  /// Cap on each of the from / to / type strings.
+  std::size_t max_name = 4096;
+  /// Cap on the payload (replication chunks are the largest legit frames).
+  Bytes max_payload = 256_MiB;
+};
+
+struct FrameHeader {
+  std::uint32_t magic = kFrameMagic;
+  std::uint16_t version = kFrameVersion;
+  std::uint16_t flags = 0;
+  std::uint64_t id = 0;
+  std::uint64_t ack_of = 0;
+  std::uint32_t body_len = 0;
+  std::uint16_t from_len = 0;
+  std::uint16_t to_len = 0;
+  std::uint16_t type_len = 0;
+  std::uint16_t reserved = 0;
+  std::uint32_t payload_len = 0;
+};
+
+/// Header + names for `msg` (everything except the payload bytes). The send
+/// path writev()s this followed by the payload buffer itself.
+std::vector<std::uint8_t> encode_frame_head(const Message& msg);
+
+/// Full frame including the payload — test/fuzz convenience, one extra copy.
+std::vector<std::uint8_t> encode_frame(const Message& msg);
+
+/// Parses and validates a fixed header from `bytes` (>= kFrameHeaderSize).
+/// On any error the out-param is untouched.
+SocketError decode_frame_header(std::span<const std::uint8_t> bytes,
+                                const FrameLimits& limits, FrameHeader* out);
+
+/// Incremental frame parser for one SOCK_STREAM connection. Feed it bytes in
+/// arbitrary chunks; it invokes the sink once per complete frame. The first
+/// error poisons the decoder (subsequent feeds return the same error) — the
+/// stream offset is unrecoverable after a framing violation, so the caller
+/// must drop the connection.
+class FrameDecoder {
+ public:
+  using Sink = std::function<void(Message&&)>;
+
+  explicit FrameDecoder(FrameLimits limits = {}) : limits_(limits) {}
+
+  /// Consumes all of `bytes` (or up to the first error). Returns kOk or the
+  /// poisoning error.
+  SocketError feed(std::span<const std::uint8_t> bytes, const Sink& sink);
+
+  /// End-of-stream verdict: kOk at a frame boundary, kTruncatedHeader inside
+  /// a header, kShortRead inside a body (mid-frame disconnect).
+  SocketError finish() const;
+
+  bool mid_frame() const { return state_ != State::kHeader || head_fill_ != 0; }
+  SocketError error() const { return error_; }
+  std::uint64_t frames_decoded() const { return frames_; }
+
+ private:
+  enum class State { kHeader, kStrings, kPayload, kPoisoned };
+
+  SocketError poison(SocketError e) {
+    state_ = State::kPoisoned;
+    error_ = e;
+    return e;
+  }
+
+  FrameLimits limits_;
+  State state_ = State::kHeader;
+  std::array<std::uint8_t, kFrameHeaderSize> head_{};
+  std::size_t head_fill_ = 0;
+  FrameHeader hdr_{};
+  std::vector<std::uint8_t> strings_;  // from · to · type, reused across frames
+  std::size_t strings_fill_ = 0;
+  std::vector<std::uint8_t> payload_;  // moved into the Payload per frame
+  std::size_t payload_fill_ = 0;
+  SocketError error_ = SocketError::kOk;
+  std::uint64_t frames_ = 0;
+};
+
+}  // namespace elan::transport

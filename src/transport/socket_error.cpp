@@ -1,0 +1,29 @@
+#include "transport/socket_error.h"
+
+namespace elan::transport {
+
+const char* to_string(SocketError error) {
+  switch (error) {
+    case SocketError::kOk: return "ok";
+    case SocketError::kBadMagic: return "bad-magic";
+    case SocketError::kBadVersion: return "bad-version";
+    case SocketError::kMalformedHeader: return "malformed-header";
+    case SocketError::kOversizedFrame: return "oversized-frame";
+    case SocketError::kBodyLengthMismatch: return "body-length-mismatch";
+    case SocketError::kTruncatedHeader: return "truncated-header";
+    case SocketError::kShortRead: return "short-read";
+    case SocketError::kConnReset: return "conn-reset";
+    case SocketError::kPeerUnknown: return "peer-unknown";
+    case SocketError::kConnectFailed: return "connect-failed";
+    case SocketError::kBindFailed: return "bind-failed";
+    case SocketError::kListenFailed: return "listen-failed";
+    case SocketError::kAcceptFailed: return "accept-failed";
+    case SocketError::kSendFailed: return "send-failed";
+    case SocketError::kAddressTooLong: return "address-too-long";
+    case SocketError::kEpollFailed: return "epoll-failed";
+    case SocketError::kSocketClosed: return "socket-closed";
+  }
+  return "?";
+}
+
+}  // namespace elan::transport

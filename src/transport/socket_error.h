@@ -1,0 +1,47 @@
+// Typed error codes for the socket transport backend.
+//
+// Every failure the wire format or the connection machinery can produce maps
+// to exactly one value here, and to_string is an exhaustive switch (the
+// KickCAT AL-status-table idiom): a new enumerator without a string is a
+// compile warning, and tests assert the table has no "?" holes. Framing
+// errors (kBadMagic .. kShortRead) poison only the connection they arrived
+// on — the transport records them (flight kind kSockError + a per-code
+// counter) and keeps serving every other link.
+#pragma once
+
+#include <cstdint>
+
+namespace elan::transport {
+
+enum class SocketError : std::uint8_t {
+  kOk = 0,
+
+  // Frame decode errors (produced by FrameDecoder, transport/frame.h).
+  kBadMagic = 1,           // header does not start with kFrameMagic
+  kBadVersion = 2,         // wire version this build does not speak
+  kMalformedHeader = 3,    // reserved bits set / lengths inconsistent
+  kOversizedFrame = 4,     // name or payload length above FrameLimits
+  kBodyLengthMismatch = 5, // body_len != from+to+type+payload lengths
+  kTruncatedHeader = 6,    // EOF inside the fixed header
+  kShortRead = 7,          // EOF inside the body (mid-frame disconnect)
+
+  // Connection lifecycle errors (produced by SocketTransport).
+  kConnReset = 8,      // ECONNRESET / EPIPE from a peer
+  kPeerUnknown = 9,    // destination endpoint has no bound socket
+  kConnectFailed = 10, // connect(2) failed (also ECONNREFUSED)
+  kBindFailed = 11,    // bind(2) failed for a listening endpoint
+  kListenFailed = 12,  // listen(2) failed
+  kAcceptFailed = 13,  // accept4(2) failed
+  kSendFailed = 14,    // write/writev failed with a non-retryable errno
+  kAddressTooLong = 15,// endpoint name does not fit sockaddr_un::sun_path
+  kEpollFailed = 16,   // epoll_create/ctl/wait failed
+  kSocketClosed = 17,  // operation on a transport already shut down
+};
+
+/// Exhaustive code -> string table; never returns nullptr.
+const char* to_string(SocketError error);
+
+/// Total number of enumerators (bounds the exhaustiveness test).
+inline constexpr int kSocketErrorCount = 18;
+
+}  // namespace elan::transport

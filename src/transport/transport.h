@@ -1,0 +1,117 @@
+// Backend-selection seam for the control-plane transport.
+//
+// Everything above the raw transport (ReliableEndpoint, the application
+// master, the workers) is written against this interface, so the exact same
+// objects run over the in-simulation MessageBus (virtual time, deterministic
+// fault injection) and over the Unix-domain-socket backend (real processes,
+// real kernel buffers). The contract is deliberately ZeroMQ-shaped and
+// *unreliable*: send() may silently lose the message; reliability is layered
+// on top by ReliableEndpoint (paper §V-D).
+//
+// Timers are part of the transport because "time" differs per backend: the
+// sim bus schedules on the simulator's virtual clock, the socket backend on
+// a wall-clock heap serviced by its epoll thread. Timer callbacks run on the
+// backend's driver thread with no transport lock held, exactly like message
+// handlers.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "common/units.h"
+#include "transport/message.h"
+
+namespace elan::transport {
+
+/// Timer handle. 0 is never a valid id. For the sim bus this is the
+/// simulator EventId; the socket backend keeps its own counter.
+using TimerId = std::uint64_t;
+
+/// Statistics every backend keeps. A message is counted exactly once as
+/// delivered, dropped or to_unknown, so at quiescence
+/// sent == delivered + dropped + to_unknown (the stress suite asserts this).
+struct BusStats {
+  std::uint64_t sent = 0;
+  std::uint64_t delivered = 0;
+  std::uint64_t dropped = 0;
+  std::uint64_t to_unknown = 0;
+};
+
+/// Retry/timeout knobs for ReliableEndpoint, hoisted out of the sim bus so
+/// each backend can supply defaults in its own time domain. The member
+/// defaults are the historical sim-tick values; wall-clock backends return
+/// wallclock_defaults() from default_options() instead, which is how an
+/// endpoint built without explicit options stays sane over real sockets
+/// without an elan_analyze determinism waiver.
+struct TransportOptions {
+  Seconds ack_timeout = milliseconds(50.0);
+  int max_retries = 100;  // ZeroMQ keeps trying to reconnect; bounded for hygiene
+  /// Resend delays grow geometrically (ack_timeout * backoff_factor^n) up to
+  /// max_backoff, so max_retries buys a long give-up horizon — long enough
+  /// to span an AM crash + restart (§V-D) — without flooding the transport.
+  double backoff_factor = 2.0;
+  Seconds max_backoff = 5.0;
+
+  /// Virtual-time defaults, tuned against the bus latency model.
+  static TransportOptions sim_defaults() { return TransportOptions{}; }
+
+  /// Wall-clock defaults: localhost RTTs are microseconds, so a short ack
+  /// timeout keeps live retry latency low; the cap still rides out a worker
+  /// respawn.
+  static TransportOptions wallclock_defaults() {
+    TransportOptions o;
+    o.ack_timeout = milliseconds(100.0);
+    o.max_retries = 50;
+    o.backoff_factor = 2.0;
+    o.max_backoff = 2.0;
+    return o;
+  }
+};
+
+/// Abstract unreliable transport + timer service.
+///
+/// Thread safety contract (both backends honour it): every method may be
+/// called from any thread; handlers and timer callbacks are invoked with no
+/// transport lock held, so they may freely call back into the transport.
+class RawTransport {
+ public:
+  using Handler = std::function<void(const Message&)>;
+
+  virtual ~RawTransport() = default;
+
+  /// Registers (or re-registers after a disconnect) an endpoint.
+  virtual void attach(const std::string& name, Handler handler) = 0;
+
+  /// Removes an endpoint; in-flight messages to it are lost (ZeroMQ peer
+  /// restart). Safe to call for unknown names.
+  virtual void detach(const std::string& name) = 0;
+
+  virtual bool attached(const std::string& name) const = 0;
+
+  /// Sends unreliably. Assigns a fresh id if msg.id == 0. Returns the id.
+  virtual MessageId send(Message msg) = 0;
+
+  /// Reserves a message id — unique within this transport instance — without
+  /// sending anything.
+  virtual MessageId allocate_id() = 0;
+
+  /// One-shot timer in this backend's time domain. The callback runs on the
+  /// backend's driver thread with no transport lock held.
+  virtual TimerId schedule_after(Seconds delay, std::function<void()> fn) = 0;
+
+  /// Best-effort cancel; a callback already dispatched may still run.
+  virtual void cancel_timer(TimerId id) = 0;
+
+  /// ReliableEndpoint defaults for this backend's time domain.
+  virtual TransportOptions default_options() const = 0;
+
+  /// Snapshot of the counters (by value: the transport keeps mutating them).
+  virtual BusStats stats() const = 0;
+
+  /// Fault injection: force-drop the next `n` messages sent from `from` (any
+  /// destination). Used by fault-tolerance tests on every backend.
+  virtual void inject_drops(const std::string& from, int n) = 0;
+};
+
+}  // namespace elan::transport

@@ -1,0 +1,38 @@
+#include "transport/wallclock.h"
+
+#include <chrono>
+#include <utility>
+
+namespace elan::transport {
+
+WallClockDriver::WallClockDriver(sim::Simulator& sim, double speed, Seconds tick)
+    : sim_(sim), speed_(speed), tick_(tick) {
+  thread_ = std::thread([this] { run(); });
+}
+
+WallClockDriver::~WallClockDriver() { stop(); }
+
+void WallClockDriver::post(std::function<void()> fn) {
+  sim_.schedule(0.0, std::move(fn));
+}
+
+void WallClockDriver::stop() {
+  if (!stop_.exchange(true) && thread_.joinable()) thread_.join();
+}
+
+void WallClockDriver::run() {
+  const auto t0 = std::chrono::steady_clock::now();
+  const auto tick = std::chrono::duration<double>(tick_);
+  while (!stop_.load(std::memory_order_relaxed)) {
+    const Seconds elapsed =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+            .count();
+    // Advance simulated time to match the (scaled) wall clock, firing every
+    // timer that came due in between. Callbacks run here, on the pump thread.
+    sim_.run_until(elapsed * speed_);
+    std::this_thread::sleep_for(
+        std::chrono::duration_cast<std::chrono::milliseconds>(tick));
+  }
+}
+
+}  // namespace elan::transport

@@ -1,0 +1,59 @@
+// Drives a sim::Simulator forward in real time.
+//
+// The AM and worker objects are written entirely against simulated time (all
+// their timeouts are Simulator events). In a live multi-process job there is
+// no sim::run() loop — instead a WallClockDriver thread pumps
+// `sim.run_until(wall_elapsed)` at a fixed tick, so "1 simulated second"
+// tracks 1 wall-clock second and the exact same objects run unmodified over
+// the socket transport. This is the only bridge between wall time and sim
+// time; everything above it stays deterministic under simulation.
+//
+// The driver thread is also a convenient single-threaded executor: post()
+// schedules a callback into the simulator "now", which the pump executes on
+// its own thread. SocketTransport's Dispatcher option hops message handlers
+// here so single-threaded consumers (WorkerProcess) never see concurrent
+// calls.
+#pragma once
+
+#include <atomic>
+#include <functional>
+#include <thread>
+
+#include "common/units.h"
+#include "sim/simulator.h"
+
+namespace elan::transport {
+
+class WallClockDriver {
+ public:
+  /// Starts pumping `sim` immediately. Nothing else may call the simulator's
+  /// run / run_until / step while the driver is alive. `speed` maps wall time
+  /// to sim time (speed 10 = 1 wall second advances 10 simulated seconds) —
+  /// live smoke tests compress the multi-second start/init cost models
+  /// without touching them.
+  explicit WallClockDriver(sim::Simulator& sim, double speed = 1.0,
+                           Seconds tick = milliseconds(1.0));
+  ~WallClockDriver();
+
+  WallClockDriver(const WallClockDriver&) = delete;
+  WallClockDriver& operator=(const WallClockDriver&) = delete;
+
+  /// Runs `fn` on the pump thread at the simulator's current time.
+  /// Thread-safe (Simulator::schedule is).
+  void post(std::function<void()> fn);
+
+  /// Stops the pump after finishing the current tick. Idempotent; implied by
+  /// the destructor.
+  void stop();
+
+ private:
+  void run();
+
+  sim::Simulator& sim_;
+  const double speed_;
+  const Seconds tick_;
+  std::atomic<bool> stop_{false};
+  std::thread thread_;
+};
+
+}  // namespace elan::transport

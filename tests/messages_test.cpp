@@ -59,6 +59,46 @@ TEST(Messages, NoAdjustDecisionIsSmall) {
   EXPECT_LT(d.serialize().size(), 64u);
 }
 
+TEST(Messages, AdjustCompleteRoundTrip) {
+  AdjustCompleteMsg m;
+  m.plan_version = 9;
+  m.failed_joins = {4, 7};
+  const auto r = AdjustCompleteMsg::deserialize(m.serialize());
+  EXPECT_EQ(r.plan_version, 9u);
+  EXPECT_EQ(r.failed_joins, m.failed_joins);
+}
+
+TEST(Messages, RemoveFailedRoundTrip) {
+  RemoveFailedMsg m;
+  m.worker = 3;
+  EXPECT_EQ(RemoveFailedMsg::deserialize(m.serialize()).worker, 3);
+}
+
+TEST(Messages, StatusRequestRoundTrip) {
+  StatusRequestMsg m;
+  m.request_id = 123;
+  EXPECT_EQ(StatusRequestMsg::deserialize(m.serialize()).request_id, 123u);
+}
+
+TEST(Messages, StatusReplyRoundTrip) {
+  StatusReplyMsg m;
+  m.request_id = 5;
+  m.phase = 3;
+  m.plan_version = 11;
+  m.workers = {{0, 0}, {1, 4}};
+  m.evictions = 1;
+  m.coordinations = 42;
+  m.reports = 6;
+  const auto r = StatusReplyMsg::deserialize(m.serialize());
+  EXPECT_EQ(r.request_id, 5u);
+  EXPECT_EQ(r.phase, 3);
+  EXPECT_EQ(r.plan_version, 11u);
+  EXPECT_EQ(r.workers, m.workers);
+  EXPECT_EQ(r.evictions, 1u);
+  EXPECT_EQ(r.coordinations, 42u);
+  EXPECT_EQ(r.reports, 6u);
+}
+
 TEST(Messages, TypeNames) {
   EXPECT_STREQ(to_string(AdjustmentType::kScaleOut), "scale-out");
   EXPECT_STREQ(to_string(AdjustmentType::kScaleIn), "scale-in");

@@ -1,0 +1,363 @@
+// Framing fuzz / negative tests for the socket transport's wire format.
+//
+// Two layers:
+//  - Pure decoder tests (no sockets): every malformed byte stream — truncated
+//    header, bad magic, bad version, reserved bits, oversized lengths,
+//    inconsistent body_len, mid-frame EOF — must map to a typed SocketError.
+//    Never a hang, never an abort, and the decoder stays poisoned afterwards.
+//  - Live-socket negatives (skipped where the sandbox forbids AF_UNIX):
+//    garbage and truncated frames written into a real listener must surface
+//    as counted typed errors on exactly that connection while the transport
+//    keeps serving everyone else.
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cstring>
+#include <set>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "transport/frame.h"
+#include "transport/socket_error.h"
+#include "transport/socket_transport.h"
+#include "transport_backends.h"
+
+namespace elan::transport {
+namespace {
+
+Message sample_message() {
+  Message m;
+  m.from = "w1/job0";
+  m.to = "am/job0";
+  m.type = "report";
+  m.id = 42;
+  m.payload = {1, 2, 3, 4, 5};
+  return m;
+}
+
+std::vector<Message> decode_all(std::span<const std::uint8_t> bytes,
+                                FrameDecoder& decoder, SocketError* error,
+                                std::size_t chunk = 1) {
+  std::vector<Message> out;
+  *error = SocketError::kOk;
+  for (std::size_t pos = 0; pos < bytes.size(); pos += chunk) {
+    const std::size_t n = std::min(chunk, bytes.size() - pos);
+    const SocketError e =
+        decoder.feed(bytes.subspan(pos, n), [&](Message&& m) { out.push_back(std::move(m)); });
+    if (e != SocketError::kOk) {
+      *error = e;
+      return out;
+    }
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Error table.
+
+TEST(SocketErrorTable, IsExhaustiveAndUnique) {
+  std::set<std::string> names;
+  for (int i = 0; i < kSocketErrorCount; ++i) {
+    const char* name = to_string(static_cast<SocketError>(i));
+    EXPECT_STRNE(name, "?") << "SocketError value " << i << " has no name";
+    EXPECT_TRUE(names.insert(name).second) << "duplicate name: " << name;
+  }
+  EXPECT_STREQ(to_string(static_cast<SocketError>(kSocketErrorCount)), "?");
+}
+
+// ---------------------------------------------------------------------------
+// Round trips.
+
+TEST(FrameCodec, RoundTripsByteAtATime) {
+  const Message msg = sample_message();
+  const auto bytes = encode_frame(msg);
+  FrameDecoder decoder;
+  SocketError error;
+  const auto out = decode_all(bytes, decoder, &error, /*chunk=*/1);
+  EXPECT_EQ(error, SocketError::kOk);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].from, msg.from);
+  EXPECT_EQ(out[0].to, msg.to);
+  EXPECT_EQ(out[0].type, msg.type);
+  EXPECT_EQ(out[0].id, msg.id);
+  EXPECT_FALSE(out[0].is_ack);
+  EXPECT_EQ(std::vector<std::uint8_t>(out[0].payload.begin(), out[0].payload.end()),
+            std::vector<std::uint8_t>({1, 2, 3, 4, 5}));
+  EXPECT_EQ(decoder.finish(), SocketError::kOk);
+  EXPECT_FALSE(decoder.mid_frame());
+}
+
+TEST(FrameCodec, RoundTripsManyFramesAcrossChunkSizes) {
+  std::vector<std::uint8_t> stream;
+  for (int i = 0; i < 7; ++i) {
+    Message m = sample_message();
+    m.id = static_cast<MessageId>(i + 1);
+    m.payload = std::vector<std::uint8_t>(static_cast<std::size_t>(i * 13), 0xAB);
+    const auto bytes = encode_frame(m);
+    stream.insert(stream.end(), bytes.begin(), bytes.end());
+  }
+  for (const std::size_t chunk : {std::size_t{1}, std::size_t{3}, std::size_t{40},
+                                  std::size_t{1000}, stream.size()}) {
+    FrameDecoder decoder;
+    SocketError error;
+    const auto out = decode_all(stream, decoder, &error, chunk);
+    EXPECT_EQ(error, SocketError::kOk) << "chunk=" << chunk;
+    EXPECT_EQ(out.size(), 7u) << "chunk=" << chunk;
+    EXPECT_EQ(decoder.frames_decoded(), 7u);
+    EXPECT_EQ(decoder.finish(), SocketError::kOk);
+  }
+}
+
+TEST(FrameCodec, EmptyEverythingStillFrames) {
+  Message m;  // empty names, empty payload
+  const auto bytes = encode_frame(m);
+  EXPECT_EQ(bytes.size(), kFrameHeaderSize);
+  FrameDecoder decoder;
+  SocketError error;
+  const auto out = decode_all(bytes, decoder, &error);
+  EXPECT_EQ(error, SocketError::kOk);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_TRUE(out[0].payload.empty());
+}
+
+TEST(FrameCodec, AckFlagRoundTrips) {
+  Message m = sample_message();
+  m.is_ack = true;
+  m.ack_of = 41;
+  m.payload = {};
+  FrameDecoder decoder;
+  SocketError error;
+  const auto out = decode_all(encode_frame(m), decoder, &error);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_TRUE(out[0].is_ack);
+  EXPECT_EQ(out[0].ack_of, 41u);
+}
+
+// ---------------------------------------------------------------------------
+// Negative paths: each maps to its typed error.
+
+TEST(FrameCodec, TruncatedHeaderAtEof) {
+  const auto bytes = encode_frame(sample_message());
+  FrameDecoder decoder;
+  SocketError error;
+  decode_all(std::span(bytes).first(kFrameHeaderSize / 2), decoder, &error);
+  EXPECT_EQ(error, SocketError::kOk);  // not an error yet: more bytes may come
+  EXPECT_TRUE(decoder.mid_frame());
+  EXPECT_EQ(decoder.finish(), SocketError::kTruncatedHeader);
+}
+
+TEST(FrameCodec, MidBodyDisconnectIsShortRead) {
+  const auto bytes = encode_frame(sample_message());
+  FrameDecoder decoder;
+  SocketError error;
+  decode_all(std::span(bytes).first(bytes.size() - 2), decoder, &error);
+  EXPECT_EQ(error, SocketError::kOk);
+  EXPECT_TRUE(decoder.mid_frame());
+  EXPECT_EQ(decoder.finish(), SocketError::kShortRead);
+}
+
+TEST(FrameCodec, BadMagicIsTyped) {
+  auto bytes = encode_frame(sample_message());
+  bytes[0] ^= 0xFF;
+  FrameDecoder decoder;
+  SocketError error;
+  decode_all(bytes, decoder, &error);
+  EXPECT_EQ(error, SocketError::kBadMagic);
+}
+
+TEST(FrameCodec, BadVersionIsTyped) {
+  auto bytes = encode_frame(sample_message());
+  bytes[4] = 0x7F;  // version low byte
+  FrameDecoder decoder;
+  SocketError error;
+  decode_all(bytes, decoder, &error);
+  EXPECT_EQ(error, SocketError::kBadVersion);
+}
+
+TEST(FrameCodec, UnknownFlagBitsAreMalformed) {
+  auto bytes = encode_frame(sample_message());
+  bytes[7] = 0x80;  // flags high byte: undefined bit
+  FrameDecoder decoder;
+  SocketError error;
+  decode_all(bytes, decoder, &error);
+  EXPECT_EQ(error, SocketError::kMalformedHeader);
+}
+
+TEST(FrameCodec, NonzeroReservedIsMalformed) {
+  auto bytes = encode_frame(sample_message());
+  bytes[34] = 1;  // reserved field
+  FrameDecoder decoder;
+  SocketError error;
+  decode_all(bytes, decoder, &error);
+  EXPECT_EQ(error, SocketError::kMalformedHeader);
+}
+
+TEST(FrameCodec, OversizedPayloadLengthIsRejectedBeforeBuffering) {
+  auto bytes = encode_frame(sample_message());
+  const std::uint32_t huge = 0xFFFFFFFF;
+  std::memcpy(bytes.data() + 36, &huge, sizeof(huge));  // payload_len
+  FrameLimits limits;
+  FrameDecoder decoder(limits);
+  SocketError error;
+  decode_all(bytes, decoder, &error);
+  // Either cap may fire first (body_len no longer matches too) — the point
+  // is a typed rejection from the header alone, before any allocation.
+  EXPECT_TRUE(error == SocketError::kOversizedFrame ||
+              error == SocketError::kBodyLengthMismatch)
+      << to_string(error);
+}
+
+TEST(FrameCodec, OversizedNameIsRejected) {
+  Message m = sample_message();
+  FrameLimits limits;
+  limits.max_name = 4;  // "w1/job0" (7 bytes) now exceeds the cap
+  FrameDecoder decoder(limits);
+  SocketError error;
+  decode_all(encode_frame(m), decoder, &error);
+  EXPECT_EQ(error, SocketError::kOversizedFrame);
+}
+
+TEST(FrameCodec, BodyLengthMismatchIsTyped) {
+  auto bytes = encode_frame(sample_message());
+  const std::uint32_t wrong = 9999;
+  std::memcpy(bytes.data() + 24, &wrong, sizeof(wrong));  // body_len
+  FrameDecoder decoder;
+  SocketError error;
+  decode_all(bytes, decoder, &error);
+  EXPECT_EQ(error, SocketError::kBodyLengthMismatch);
+}
+
+TEST(FrameCodec, ErrorPoisonsTheDecoder) {
+  auto bad = encode_frame(sample_message());
+  bad[0] ^= 0xFF;
+  const auto good = encode_frame(sample_message());
+  FrameDecoder decoder;
+  SocketError error;
+  decode_all(bad, decoder, &error);
+  ASSERT_EQ(error, SocketError::kBadMagic);
+  // Feeding perfectly valid frames afterwards must keep returning the
+  // original error — the stream offset is gone for good.
+  decode_all(good, decoder, &error);
+  EXPECT_EQ(error, SocketError::kBadMagic);
+  EXPECT_EQ(decoder.error(), SocketError::kBadMagic);
+  EXPECT_EQ(decoder.frames_decoded(), 0u);
+}
+
+TEST(FrameCodec, RandomGarbageNeverDecodesQuietly) {
+  // Deterministic pseudo-random garbage: whatever happens, the decoder must
+  // come back with a typed verdict (almost surely kBadMagic) and no frames.
+  std::uint64_t x = 0x243F6A8885A308D3ULL;
+  std::vector<std::uint8_t> garbage(4096);
+  for (auto& b : garbage) {
+    x = x * 6364136223846793005ULL + 1442695040888963407ULL;
+    b = static_cast<std::uint8_t>(x >> 56);
+  }
+  FrameDecoder decoder;
+  SocketError error;
+  const auto out = decode_all(garbage, decoder, &error);
+  EXPECT_NE(error, SocketError::kOk);
+  EXPECT_TRUE(out.empty());
+}
+
+// ---------------------------------------------------------------------------
+// Live-socket negatives: a hostile client against a real listener.
+
+class SocketNegativeTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    if (!SocketTransport::sockets_available()) {
+      GTEST_SKIP() << "sockets unavailable in this sandbox";
+    }
+    ctx_ = std::make_unique<testing::SocketContext>(testing::ConformanceConfig{});
+  }
+
+  SocketTransport& transport() { return ctx_->socket_transport(); }
+
+  /// Connects a raw client to `name`'s listener, writes `bytes`, closes.
+  void write_raw(const std::string& name, const std::vector<std::uint8_t>& bytes) {
+    const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    ASSERT_GE(fd, 0);
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    const std::string path = transport().socket_path(name);
+    ASSERT_LT(path.size(), sizeof(addr.sun_path));
+    std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+    ASSERT_EQ(::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)), 0)
+        << std::strerror(errno);
+    std::size_t off = 0;
+    while (off < bytes.size()) {
+      const ssize_t n = ::write(fd, bytes.data() + off, bytes.size() - off);
+      ASSERT_GT(n, 0) << std::strerror(errno);
+      off += static_cast<std::size_t>(n);
+    }
+    ::close(fd);
+  }
+
+  bool wait_error(SocketError error, std::uint64_t count = 1) {
+    return ctx_->wait_until(
+        [&] { return transport().error_count(error) >= count; }, 5.0);
+  }
+
+  std::unique_ptr<testing::SocketContext> ctx_;
+};
+
+TEST_F(SocketNegativeTest, GarbageBytesSurfaceAsBadMagic) {
+  std::atomic<int> received{0};
+  transport().attach("victim", [&](const Message&) { received.fetch_add(1); });
+  write_raw("victim", std::vector<std::uint8_t>(128, 0x5A));
+  EXPECT_TRUE(wait_error(SocketError::kBadMagic));
+  // The poisoned connection died alone: regular traffic still flows.
+  transport().send([&] {
+    Message m;
+    m.from = "friend";
+    m.to = "victim";
+    m.type = "ping";
+    return m;
+  }());
+  EXPECT_TRUE(ctx_->wait_until([&] { return received.load() == 1; }, 5.0));
+}
+
+TEST_F(SocketNegativeTest, MidFrameDisconnectSurfacesAsShortRead) {
+  transport().attach("victim", [](const Message&) {});
+  Message m = sample_message();
+  m.to = "victim";
+  auto bytes = encode_frame(m);
+  bytes.resize(bytes.size() - 3);  // cut mid-payload, then close
+  write_raw("victim", bytes);
+  EXPECT_TRUE(wait_error(SocketError::kShortRead));
+  EXPECT_EQ(transport().stats().delivered, 0u);
+}
+
+TEST_F(SocketNegativeTest, TruncatedHeaderDisconnectIsTyped) {
+  transport().attach("victim", [](const Message&) {});
+  auto bytes = encode_frame(sample_message());
+  bytes.resize(kFrameHeaderSize / 2);
+  write_raw("victim", bytes);
+  EXPECT_TRUE(wait_error(SocketError::kTruncatedHeader));
+}
+
+TEST_F(SocketNegativeTest, OversizedLengthFieldIsRejectedWithoutAllocation) {
+  transport().attach("victim", [](const Message&) {});
+  auto bytes = encode_frame(sample_message());
+  const std::uint32_t huge = 0xFFFFFFFF;
+  std::memcpy(bytes.data() + 24, &huge, sizeof(huge));  // body_len
+  std::memcpy(bytes.data() + 36, &huge, sizeof(huge));  // payload_len
+  write_raw("victim", bytes);
+  EXPECT_TRUE(wait_error(SocketError::kOversizedFrame));
+}
+
+TEST_F(SocketNegativeTest, ErrorsAreCountedPerCode) {
+  transport().attach("victim", [](const Message&) {});
+  write_raw("victim", std::vector<std::uint8_t>(64, 0xAA));
+  write_raw("victim", std::vector<std::uint8_t>(64, 0xBB));
+  EXPECT_TRUE(wait_error(SocketError::kBadMagic, 2));
+  const auto counts = transport().error_counts();
+  EXPECT_GE(counts.at(SocketError::kBadMagic), 2u);
+}
+
+}  // namespace
+}  // namespace elan::transport

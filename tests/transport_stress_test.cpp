@@ -1,5 +1,6 @@
-// Concurrency stress tests for the transport layer (bus, reliable endpoint,
-// kv store) and the application-master report path. Built to run under
+// Sim-specific concurrency stress tests (KV store; the transport-contract
+// stress cases moved to transport_conformance_test.cpp where they run against
+// both backends). Built to run under
 // ThreadSanitizer (`ctest -L tsan` in a -DELAN_SANITIZE=thread build); in a
 // plain build they still exercise the lock-order detector across every
 // transport lock pair.
@@ -10,7 +11,6 @@
 
 #include <atomic>
 #include <cstdint>
-#include <set>
 #include <string>
 #include <thread>
 #include <vector>
@@ -19,8 +19,6 @@
 
 #include "common/sync.h"
 #include "sim/simulator.h"
-#include "topology/bandwidth.h"
-#include "transport/bus.h"
 #include "transport/kv_store.h"
 
 namespace elan::transport {
@@ -45,106 +43,6 @@ void hammer(sim::Simulator& sim, Fn work) {
     if (!sim.step()) std::this_thread::yield();
   }
   for (auto& t : threads) t.join();
-}
-
-TEST(TransportStress, ConcurrentSendsAllDelivered) {
-  sim::Simulator sim;
-  topo::BandwidthModel bandwidth;
-  MessageBus bus(sim, bandwidth);
-
-  std::atomic<int> received{0};
-  bus.attach("sink", [&](const Message&) { received.fetch_add(1); });
-
-  hammer(sim, [&](int t) {
-    for (int i = 0; i < kOpsPerThread; ++i) {
-      Message msg;
-      msg.from = "src/" + std::to_string(t);
-      msg.to = "sink";
-      msg.type = "ping";
-      bus.send(std::move(msg));
-    }
-  });
-
-  EXPECT_EQ(received.load(), kThreads * kOpsPerThread);
-  const BusStats stats = bus.stats();
-  EXPECT_EQ(stats.sent, static_cast<std::uint64_t>(kThreads * kOpsPerThread));
-  EXPECT_EQ(stats.delivered, static_cast<std::uint64_t>(kThreads * kOpsPerThread));
-}
-
-TEST(TransportStress, AllocateIdIsUniqueAcrossThreads) {
-  sim::Simulator sim;
-  topo::BandwidthModel bandwidth;
-  MessageBus bus(sim, bandwidth);
-
-  std::vector<std::vector<MessageId>> per_thread(kThreads);
-  hammer(sim, [&](int t) {
-    for (int i = 0; i < kOpsPerThread; ++i) per_thread[t].push_back(bus.allocate_id());
-  });
-
-  std::set<MessageId> unique;
-  for (const auto& ids : per_thread) unique.insert(ids.begin(), ids.end());
-  EXPECT_EQ(unique.size(), static_cast<std::size_t>(kThreads * kOpsPerThread));
-}
-
-TEST(TransportStress, ConcurrentAttachDetachWithTraffic) {
-  sim::Simulator sim;
-  topo::BandwidthModel bandwidth;
-  MessageBus bus(sim, bandwidth);
-  bus.attach("sink", [](const Message&) {});
-
-  hammer(sim, [&](int t) {
-    const std::string name = "flapper/" + std::to_string(t);
-    for (int i = 0; i < kOpsPerThread; ++i) {
-      bus.attach(name, [](const Message&) {});
-      Message msg;
-      msg.from = name;
-      msg.to = "sink";
-      msg.type = "noise";
-      bus.send(std::move(msg));
-      bus.detach(name);
-    }
-  });
-
-  // Deliveries to detached endpoints are counted as to_unknown, never lost
-  // track of; the totals must reconcile.
-  const BusStats stats = bus.stats();
-  EXPECT_EQ(stats.sent, static_cast<std::uint64_t>(kThreads * kOpsPerThread));
-  EXPECT_EQ(stats.delivered + stats.dropped + stats.to_unknown, stats.sent);
-}
-
-TEST(TransportStress, ReliableEndpointsConcurrentSends) {
-  sim::Simulator sim;
-  topo::BandwidthModel bandwidth;
-  MessageBus bus(sim, bandwidth);
-
-  std::atomic<int> received{0};
-  ReliableEndpoint server(bus, "server",
-                          [&](const Message&) { received.fetch_add(1); });
-
-  constexpr int kReliableOps = 50;  // each op costs a round trip in sim time
-  std::vector<std::unique_ptr<ReliableEndpoint>> clients;
-  for (int t = 0; t < kThreads; ++t) {
-    clients.push_back(std::make_unique<ReliableEndpoint>(
-        bus, "client/" + std::to_string(t), [](const Message&) {}));
-  }
-
-  std::atomic<int> running{kThreads};
-  std::vector<std::thread> threads;
-  for (int t = 0; t < kThreads; ++t) {
-    threads.emplace_back([&, t] {
-      for (int i = 0; i < kReliableOps; ++i) {
-        clients[static_cast<std::size_t>(t)]->send("server", "work");
-      }
-      running.fetch_sub(1, std::memory_order_release);
-    });
-  }
-  // Drain until every send is acked (no pending retries left in the sim).
-  while (running.load(std::memory_order_acquire) > 0 || sim.pending() > 0) {
-    if (!sim.step()) std::this_thread::yield();
-  }
-  for (auto& t : threads) t.join();
-
-  EXPECT_EQ(received.load(), kThreads * kReliableOps);
 }
 
 TEST(TransportStress, KvStoreConcurrentPutsAndGets) {

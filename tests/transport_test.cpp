@@ -1,5 +1,10 @@
-// Tests of the message bus, the reliable endpoint layer (paper §V-D fault
-// tolerance: unique ids, resend on timeout, reconnect) and the KV store.
+// Sim-bus-specific transport tests: latency/jitter models, payload reuse
+// across retransmissions, the KV store, and the simulated filesystem.
+//
+// Everything that is a *contract* of the RawTransport seam (delivery, loss
+// accounting, ReliableEndpoint exactly-once, zero-copy, thread safety) lives
+// in transport_conformance_test.cpp, instantiated against both the sim bus
+// and the socket backend.
 #include <gtest/gtest.h>
 
 #include "storage/filesystem.h"
@@ -36,47 +41,6 @@ TEST(MessageBus, DeliversWithLatency) {
   EXPECT_LT(delivered_at, milliseconds(1.0));
 }
 
-TEST(MessageBus, MessageToUnknownEndpointIsLost) {
-  BusFixture f;
-  Message m;
-  m.from = "a";
-  m.to = "nobody";
-  m.type = "ping";
-  f.bus.send(std::move(m));
-  f.sim.run();
-  EXPECT_EQ(f.bus.stats().to_unknown, 1u);
-  EXPECT_EQ(f.bus.stats().delivered, 0u);
-}
-
-TEST(MessageBus, AssignsUniqueIds) {
-  BusFixture f;
-  f.bus.attach("b", [](const Message&) {});
-  Message m1;
-  m1.to = "b";
-  Message m2;
-  m2.to = "b";
-  const auto id1 = f.bus.send(std::move(m1));
-  const auto id2 = f.bus.send(std::move(m2));
-  EXPECT_NE(id1, id2);
-}
-
-TEST(MessageBus, ForcedDropsApply) {
-  BusFixture f;
-  int received = 0;
-  f.bus.attach("b", [&](const Message&) { ++received; });
-  f.bus.inject_drops("a", 2);
-  for (int i = 0; i < 3; ++i) {
-    Message m;
-    m.from = "a";
-    m.to = "b";
-    m.type = "ping";
-    f.bus.send(std::move(m));
-  }
-  f.sim.run();
-  EXPECT_EQ(received, 1);
-  EXPECT_EQ(f.bus.stats().dropped, 2u);
-}
-
 TEST(MessageBus, PerConnectionOrderingDespiteJitter) {
   // ZeroMQ semantics: messages between one (from, to) pair arrive in send
   // order, jitter notwithstanding.
@@ -103,126 +67,9 @@ TEST(MessageBus, PerConnectionOrderingDespiteJitter) {
   EXPECT_TRUE(std::is_sorted(order.begin(), order.end()));
 }
 
-TEST(ReliableEndpoint, DeliversExactlyOnceWithoutFaults) {
-  BusFixture f;
-  int received = 0;
-  ReliableEndpoint a(f.bus, "a", [](const Message&) {});
-  ReliableEndpoint b(f.bus, "b", [&](const Message&) { ++received; });
-  a.send("b", "hello");
-  f.sim.run();
-  EXPECT_EQ(received, 1);
-  EXPECT_EQ(a.retries(), 0u);
-}
-
-TEST(ReliableEndpoint, ResendsAfterDrop) {
-  BusFixture f;
-  int received = 0;
-  ReliableEndpoint a(f.bus, "a", [](const Message&) {});
-  ReliableEndpoint b(f.bus, "b", [&](const Message&) { ++received; });
-  f.bus.inject_drops("a", 1);  // first transmission lost
-  a.send("b", "hello");
-  f.sim.run();
-  EXPECT_EQ(received, 1);
-  EXPECT_GE(a.retries(), 1u);
-}
-
-TEST(ReliableEndpoint, LostAckCausesResendButNoDuplicateDelivery) {
-  BusFixture f;
-  int received = 0;
-  ReliableEndpoint a(f.bus, "a", [](const Message&) {});
-  ReliableEndpoint b(f.bus, "b", [&](const Message&) { ++received; });
-  f.bus.inject_drops("b", 1);  // b's first ack lost
-  a.send("b", "hello");
-  f.sim.run();
-  // Sender retried, receiver de-duplicated by message id.
-  EXPECT_EQ(received, 1);
-  EXPECT_GE(a.retries(), 1u);
-}
-
-TEST(ReliableEndpoint, SurvivesHighLossRate) {
-  sim::Simulator sim;
-  topo::BandwidthModel bandwidth;
-  BusParams params;
-  params.drop_probability = 0.3;
-  params.seed = 99;
-  MessageBus bus(sim, bandwidth, params);
-  int received = 0;
-  ReliableEndpoint a(bus, "a", [](const Message&) {});
-  ReliableEndpoint b(bus, "b", [&](const Message&) { ++received; });
-  for (int i = 0; i < 50; ++i) a.send("b", "msg" + std::to_string(i));
-  sim.run();
-  EXPECT_EQ(received, 50);
-}
-
-TEST(ReliableEndpoint, ResendsReachRestartedPeer) {
-  BusFixture f;
-  int received = 0;
-  ReliableEndpoint a(f.bus, "a", [](const Message&) {});
-  ReliableEndpoint b(f.bus, "b", [&](const Message&) { ++received; });
-  b.shutdown();  // peer dies
-  a.send("b", "hello");
-  // Peer restarts (ZeroMQ reconnect semantics) while the sender is retrying.
-  f.sim.schedule(0.3, [&] { b.restart(); });
-  f.sim.run();
-  EXPECT_EQ(received, 1);
-  EXPECT_GE(a.retries(), 1u);
-}
-
-TEST(ReliableEndpoint, GivesUpAfterMaxRetries) {
-  BusFixture f;
-  ReliableParams p;
-  p.max_retries = 3;
-  p.ack_timeout = milliseconds(10);
-  ReliableEndpoint a(f.bus, "a", [](const Message&) {}, p);
-  a.send("void", "hello");
-  f.sim.run();
-  EXPECT_EQ(a.gave_up(), 1u);
-}
-
-TEST(ReliableEndpoint, ShutdownStopsRetries) {
-  BusFixture f;
-  ReliableEndpoint a(f.bus, "a", [](const Message&) {});
-  a.send("void", "hello");
-  a.shutdown();
-  f.sim.run();
-  EXPECT_EQ(a.gave_up(), 0u);
-  EXPECT_EQ(f.sim.pending(), 0u);
-}
-
 // ---------------------------------------------------------------------------
 // Zero-copy payload transport
 // ---------------------------------------------------------------------------
-
-TEST(Payload, BufferIsAllocatedExactlyOnceEndToEnd) {
-  // The replication data plane's guarantee: a payload handed to
-  // ReliableEndpoint::send is allocated once and travels sender -> bus ->
-  // receiver -> handler by shared ownership. The exchange also carries an
-  // ack (empty payload) back to the sender — empty payloads never allocate,
-  // so the global buffer count moves by exactly one.
-  BusFixture f;
-  const std::uint8_t* delivered_data = nullptr;
-  std::size_t delivered_size = 0;
-  ReliableEndpoint a(f.bus, "a", [](const Message&) {});
-  ReliableEndpoint b(f.bus, "b", [&](const Message& m) {
-    delivered_data = m.payload.data();
-    delivered_size = m.payload.size();
-  });
-
-  std::vector<std::uint8_t> bytes(4096);
-  for (std::size_t i = 0; i < bytes.size(); ++i) {
-    bytes[i] = static_cast<std::uint8_t>(i);
-  }
-  const auto before = Payload::buffer_allocations();
-  Payload payload(std::move(bytes));
-  const std::uint8_t* original = payload.data();
-  a.send("b", "blob", std::move(payload));
-  f.sim.run();
-
-  EXPECT_EQ(Payload::buffer_allocations() - before, 1u);
-  ASSERT_EQ(delivered_size, 4096u);
-  // Pointer identity: the handler saw the very buffer the sender wrapped.
-  EXPECT_EQ(delivered_data, original);
-}
 
 TEST(Payload, RetransmissionsReuseTheSameBuffer) {
   // Drops force resends; every transmission shares the one buffer instead

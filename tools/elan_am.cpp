@@ -1,0 +1,102 @@
+// Live application master: the ApplicationMaster object from the simulation,
+// hosted in its own OS process over the socket transport.
+//
+// The AM's timers (report timeout) already go through the RawTransport timer
+// API, so over SocketTransport they are real wall-clock timers and the object
+// runs unmodified. A private simulator + WallClockDriver exists only to pump
+// the KV store's latency callbacks.
+//
+// Markers on stdout: AM_READY job=<id>. Everything else is logging (stderr)
+// and flight records (<dir>/flight-am.{bin,crash}).
+#include <string>
+#include <vector>
+
+#include "common/flags.h"
+#include "common/log.h"
+#include "elan/master.h"
+#include "obs/flight.h"
+#include "sim/simulator.h"
+#include "live_common.h"
+#include "transport/kv_store.h"
+#include "transport/socket_transport.h"
+#include "transport/wallclock.h"
+
+namespace {
+
+/// Parses "0:0,1:1,2:2" into launch specs (worker:gpu pairs).
+std::vector<elan::WorkerLaunchSpec> parse_initial(const std::string& spec) {
+  std::vector<elan::WorkerLaunchSpec> out;
+  std::size_t pos = 0;
+  while (pos < spec.size()) {
+    std::size_t comma = spec.find(',', pos);
+    if (comma == std::string::npos) comma = spec.size();
+    const std::string item = spec.substr(pos, comma - pos);
+    const std::size_t colon = item.find(':');
+    elan::require(colon != std::string::npos, "--initial: expected worker:gpu, got " + item);
+    elan::WorkerLaunchSpec ws;
+    ws.worker = std::stoi(item.substr(0, colon));
+    ws.gpu = std::stoi(item.substr(colon + 1));
+    out.push_back(ws);
+    pos = comma + 1;
+  }
+  return out;
+}
+
+int run(int argc, char** argv, elan::Flags& flags) {
+  using namespace elan;
+
+  flags.define("dir", "", "socket directory shared by the job (required)");
+  flags.define("job", "job0", "job id");
+  flags.define("initial", "", "already-running workers as worker:gpu,... pairs");
+  flags.define("report-timeout", "30", "seconds the AM waits for joiner reports");
+  define_log_level_flag(flags);
+  flags.parse(argc, argv);
+  if (flags.help_requested()) {
+    std::fputs(flags.usage("elan_am").c_str(), stderr);
+    return 0;
+  }
+  apply_log_level_flag(flags);
+  require(!flags.get("dir").empty(), "elan_am: --dir is required");
+
+  if (!transport::SocketTransport::sockets_available()) {
+    live::marker("SKIP sockets-unavailable");
+    return live::kSkipExitCode;
+  }
+
+  const std::string dir = flags.get("dir");
+  const std::string job = flags.get("job");
+
+  obs::FlightRecorder::set_enabled(true);
+  obs::FlightRecorder::instance().arm_crash_dump(dir + "/flight-am.crash");
+  live::install_stop_handlers();
+
+  sim::Simulator sim;
+  transport::KvStore kv(sim);
+  transport::WallClockDriver driver(sim);
+  transport::SocketTransport bus(live::live_socket_options(dir));
+  {
+    AmParams params;
+    params.report_timeout = flags.get_double("report-timeout");
+    ApplicationMaster am(bus, kv, job, parse_initial(flags.get("initial")), params);
+    live::marker("AM_READY job=" + job);
+    live::wait_for_stop();
+    log_info() << "am/" << job << ": stopping (phase " << to_string(am.phase()) << ")";
+  }
+  bus.shutdown();
+  driver.stop();
+  obs::FlightRecorder::instance().dump(dir + "/flight-am.bin");
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  elan::Flags flags;
+  try {
+    return run(argc, argv, flags);
+  } catch (const elan::Error& e) {
+    std::fprintf(stderr, "error: %s\n%s", e.what(),
+                 flags.usage("elan_am").c_str());
+    return 1;
+  }
+}

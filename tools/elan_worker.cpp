@@ -1,0 +1,136 @@
+// Live worker: the WorkerProcess object from the simulation, hosted in its
+// own OS process over the socket transport.
+//
+// The worker is a single-threaded actor whose timeouts are simulator events,
+// so a WallClockDriver pumps its private simulator in (scaled) real time and
+// the socket transport's dispatcher hops every message delivery onto that
+// same pump thread — the worker never sees concurrent calls, exactly like
+// under simulation.
+//
+// Markers on stdout: WORKER_READY id=<n>, WORKER_DECISION id=<n> v=<plan>.
+#include <memory>
+#include <string>
+
+#include "common/flags.h"
+#include "common/log.h"
+#include "common/rng.h"
+#include "elan/worker.h"
+#include "live_common.h"
+#include "obs/flight.h"
+#include "sim/simulator.h"
+#include "train/models.h"
+#include "transport/socket_transport.h"
+#include "transport/wallclock.h"
+
+namespace {
+
+int run(int argc, char** argv, elan::Flags& flags) {
+  using namespace elan;
+
+  flags.define("dir", "", "socket directory shared by the job (required)");
+  flags.define("job", "job0", "job id");
+  flags.define("id", "0", "worker id");
+  flags.define("gpu", "0", "gpu id");
+  flags.define("running", "false", "already part of the job (skip launch/report)");
+  flags.define("speed", "10", "sim seconds advanced per wall second");
+  flags.define("coord-interval", "0.5", "coordination interval in sim seconds");
+  define_log_level_flag(flags);
+  flags.parse(argc, argv);
+  if (flags.help_requested()) {
+    std::fputs(flags.usage("elan_worker").c_str(), stderr);
+    return 0;
+  }
+  apply_log_level_flag(flags);
+  require(!flags.get("dir").empty(), "elan_worker: --dir is required");
+
+  if (!transport::SocketTransport::sockets_available()) {
+    live::marker("SKIP sockets-unavailable");
+    return live::kSkipExitCode;
+  }
+
+  const std::string dir = flags.get("dir");
+  const std::string job = flags.get("job");
+  const int id = static_cast<int>(flags.get_int("id"));
+  const bool running = flags.get_bool("running");
+  const Seconds interval = flags.get_double("coord-interval");
+
+  obs::FlightRecorder::set_enabled(true);
+  obs::FlightRecorder::instance().arm_crash_dump(dir + "/flight-w" +
+                                                 std::to_string(id) + ".crash");
+  live::install_stop_handlers();
+
+  sim::Simulator sim;
+  transport::WallClockDriver driver(sim, flags.get_double("speed"));
+  auto options = live::live_socket_options(dir);
+  options.seed = 1000 + static_cast<std::uint64_t>(id);
+  // Single-threaded actor: handlers are delivered on the pump thread.
+  options.dispatcher = [&driver](std::function<void()> fn) {
+    driver.post(std::move(fn));
+  };
+  transport::SocketTransport bus(options);
+  {
+    WorkerParams params;
+    params.start_mean = 1.0;  // compressed further by --speed
+    params.start_stddev = 0.1;
+    WorkerProcess worker(sim, bus, job, id,
+                         static_cast<topo::GpuId>(flags.get_int("gpu")),
+                         train::mobilenet_v2_cifar(), train::EngineKind::kDynamicGraph,
+                         params, Rng(1234 + 7919ULL * static_cast<std::uint64_t>(id)),
+                         running);
+
+    // Periodic coordination loop (the job runtime's iteration-boundary poll),
+    // running entirely on the pump thread.
+    auto iteration = std::make_shared<std::uint64_t>(0);
+    auto tick = std::make_shared<std::function<void()>>();
+    *tick = [&, iteration, tick] {
+      if (live::g_stop_requested == 0 &&
+          (worker.state() == WorkerState::kTraining ||
+           worker.state() == WorkerState::kReady) &&
+          !worker.has_pending_decision()) {
+        worker.coordinate(++*iteration, [&worker, id](const DecisionMsg& decision) {
+          if (decision.adjust) {
+            live::marker("WORKER_DECISION id=" + std::to_string(id) +
+                         " v=" + std::to_string(decision.plan.version));
+          }
+          // A joiner's first decision doubles as its admission signal: the
+          // launcher (job runtime) has run the adjustment, start training.
+          if (worker.state() == WorkerState::kReady) worker.set_training();
+        });
+      }
+      sim.schedule(interval, *tick);
+    };
+
+    if (running) {
+      live::marker("WORKER_READY id=" + std::to_string(id));
+      sim.schedule(interval, *tick);
+    } else {
+      driver.post([&, tick] {
+        worker.launch([&, tick] {
+          live::marker("WORKER_READY id=" + std::to_string(id));
+          sim.schedule(interval, *tick);
+        });
+      });
+    }
+
+    live::wait_for_stop();
+    bus.shutdown();  // stop deliveries before tearing the worker down
+    driver.stop();
+    log_info() << "w" << id << "/" << job << ": stopping in state "
+               << to_string(worker.state());
+  }
+  obs::FlightRecorder::instance().dump(dir + "/flight-w" + std::to_string(id) + ".bin");
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  elan::Flags flags;
+  try {
+    return run(argc, argv, flags);
+  } catch (const elan::Error& e) {
+    std::fprintf(stderr, "error: %s\n%s", e.what(),
+                 flags.usage("elan_worker").c_str());
+    return 1;
+  }
+}

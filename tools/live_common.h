@@ -1,0 +1,134 @@
+// Shared plumbing for the live multi-process binaries (elan_am, elan_worker,
+// elan_launch).
+//
+// These tools run the *same* ApplicationMaster / WorkerProcess objects the
+// simulation uses, but over the socket transport with a WallClockDriver
+// pumping each process's private simulator. What lives here is only the glue
+// a real deployment would need anyway: signal-driven shutdown, a
+// request/reply client for the AM's control protocol, and the stdout markers
+// the launcher and tests key on.
+#pragma once
+
+#include <csignal>
+#include <cstdint>
+#include <cstdio>
+#include <functional>
+#include <map>
+#include <optional>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "common/serialize.h"
+#include "common/sync.h"
+#include "common/units.h"
+#include "transport/bus.h"
+#include "transport/socket_transport.h"
+
+namespace elan::live {
+
+/// Machine-readable progress marker on stdout (the launcher and the fault
+/// test parse these lines; everything else goes to the log on stderr).
+inline void marker(const std::string& line) {
+  std::fputs((line + "\n").c_str(), stdout);
+  std::fflush(stdout);
+}
+
+/// ctest's skip exit code: sockets unavailable in this sandbox.
+inline constexpr int kSkipExitCode = 77;
+
+// ---------------------------------------------------------------------------
+// Signal-driven shutdown: SIGTERM / SIGINT flip a flag the main loop polls.
+
+inline volatile std::sig_atomic_t g_stop_requested = 0;
+
+inline void install_stop_handlers() {
+  struct sigaction sa = {};
+  sa.sa_handler = [](int) { g_stop_requested = 1; };
+  ::sigaction(SIGTERM, &sa, nullptr);
+  ::sigaction(SIGINT, &sa, nullptr);
+}
+
+/// Sleeps until a stop signal arrives (the AM/worker main loops).
+inline void wait_for_stop() {
+  while (g_stop_requested == 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Request/reply client over a ReliableEndpoint.
+//
+// The AM's control protocol correlates every reply to its request through a
+// leading request_id field (AdjustReplyMsg / StatusReplyMsg both serialise it
+// first), so one generic client covers all calls the launcher makes.
+
+class ControlClient {
+ public:
+  ControlClient(transport::RawTransport& bus, std::string name)
+      : endpoint_(bus, std::move(name),
+                  [this](const transport::Message& msg) { on_message(msg); }) {}
+
+  const std::string& name() const { return endpoint_.name(); }
+
+  /// Sends `type` to `to` and waits for a `reply_type` whose leading u64
+  /// equals `request_id`. Returns the reply payload, or nullopt on timeout.
+  std::optional<std::vector<std::uint8_t>> call(const std::string& to,
+                                                const std::string& type,
+                                                std::vector<std::uint8_t> payload,
+                                                std::uint64_t request_id,
+                                                const std::string& reply_type,
+                                                Seconds timeout) {
+    endpoint_.send(to, type, transport::Payload(std::move(payload)));
+    const auto deadline =
+        std::chrono::steady_clock::now() + std::chrono::duration<double>(timeout);
+    while (std::chrono::steady_clock::now() < deadline) {
+      {
+        MutexLock lock(mu_);
+        auto it = replies_.find({reply_type, request_id});
+        if (it != replies_.end()) {
+          auto bytes = std::move(it->second);
+          replies_.erase(it);
+          return bytes;
+        }
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    }
+    return std::nullopt;
+  }
+
+  /// Fire-and-forget (still reliable at the transport layer): completion and
+  /// failure notifications that carry no reply.
+  void send(const std::string& to, const std::string& type,
+            std::vector<std::uint8_t> payload) {
+    endpoint_.send(to, type, transport::Payload(std::move(payload)));
+  }
+
+  std::uint64_t next_request_id() { return next_request_id_++; }
+
+ private:
+  void on_message(const transport::Message& msg) {
+    if (msg.payload.size() < sizeof(std::uint64_t)) return;
+    BinaryReader r(msg.payload);
+    const std::uint64_t request_id = r.read<std::uint64_t>();
+    MutexLock lock(mu_);
+    replies_[{msg.type, request_id}] = {msg.payload.begin(), msg.payload.end()};
+  }
+
+  Mutex mu_{"control_client"};
+  std::map<std::pair<std::string, std::uint64_t>, std::vector<std::uint8_t>>
+      replies_ ELAN_GUARDED_BY(mu_);
+  std::uint64_t next_request_id_ = 1;
+  transport::ReliableEndpoint endpoint_;  // last: handler touches the maps
+};
+
+/// Transport options every live process shares; only the socket directory
+/// varies per job.
+inline transport::SocketTransport::Options live_socket_options(const std::string& dir) {
+  transport::SocketTransport::Options options;
+  options.dir = dir;
+  return options;
+}
+
+}  // namespace elan::live
