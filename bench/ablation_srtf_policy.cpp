@@ -14,6 +14,7 @@ int main() {
 
   struct Acc {
     Stats jpt, jct, p90;
+    Stats jpt_p50, jpt_p99, jct_p50, jct_p99;
   };
   std::map<sched::PolicyKind, Acc> acc;
   const std::vector<sched::PolicyKind> policies = {sched::PolicyKind::kElasticFifo,
@@ -29,16 +30,26 @@ int main() {
       acc[policy].jpt.add(m.pending_time.mean());
       acc[policy].jct.add(m.completion_time.mean());
       acc[policy].p90.add(m.completion_time.percentile(90));
+      acc[policy].jpt_p50.add(m.pending_time_quantile(0.50));
+      acc[policy].jpt_p99.add(m.pending_time_quantile(0.99));
+      acc[policy].jct_p50.add(m.completion_time_quantile(0.50));
+      acc[policy].jct_p99.add(m.completion_time_quantile(0.99));
     }
   }
 
-  Table t({"Policy", "mean JPT (s)", "mean JCT (s)", "p90 JCT (s)"});
+  Table t({"Policy", "mean JPT (s)", "p50/p99 JPT (s)", "mean JCT (s)",
+           "p90 JCT (s)", "p50/p99 JCT (s)"});
   for (auto policy : policies) {
-    char a[32], b[32], c[32];
+    char a[32], b[32], c[32], d[48], e[48];
     std::snprintf(a, sizeof(a), "%.0f", acc[policy].jpt.mean());
     std::snprintf(b, sizeof(b), "%.0f", acc[policy].jct.mean());
     std::snprintf(c, sizeof(c), "%.0f", acc[policy].p90.mean());
-    t.add(sched::to_string(policy), std::string(a), std::string(b), std::string(c));
+    std::snprintf(d, sizeof(d), "%.0f / %.0f", acc[policy].jpt_p50.mean(),
+                  acc[policy].jpt_p99.mean());
+    std::snprintf(e, sizeof(e), "%.0f / %.0f", acc[policy].jct_p50.mean(),
+                  acc[policy].jct_p99.mean());
+    t.add(sched::to_string(policy), std::string(a), std::string(d),
+          std::string(b), std::string(c), std::string(e));
   }
   bench::print_table(t);
   std::printf("SRTF ordering helps mean JCT under congestion; the p90 column tracks how\n"

@@ -14,6 +14,7 @@ int main() {
 
   struct Acc {
     Stats jpt, jct, makespan;
+    Stats jpt_p50, jpt_p99, jct_p50, jct_p99;
   };
   std::map<sched::PolicyKind, Acc> acc;
   const std::vector<sched::PolicyKind> policies = {
@@ -30,11 +31,18 @@ int main() {
       acc[policy].jpt.add(m.pending_time.mean());
       acc[policy].jct.add(m.completion_time.mean());
       acc[policy].makespan.add(m.makespan);
+      // The tail columns the multi-tenant schedulers report: mean-only
+      // numbers hide that elasticity mostly helps the jobs stuck waiting.
+      acc[policy].jpt_p50.add(m.pending_time_quantile(0.50));
+      acc[policy].jpt_p99.add(m.pending_time_quantile(0.99));
+      acc[policy].jct_p50.add(m.completion_time_quantile(0.50));
+      acc[policy].jct_p99.add(m.completion_time_quantile(0.99));
     }
   }
 
-  Table t({"Policy", "JPT (s)", "JCT (s)", "makespan (h)", "JPT vs static",
-           "JCT vs static", "makespan vs static"});
+  Table t({"Policy", "JPT (s)", "p50/p99 JPT", "JCT (s)", "p50/p99 JCT",
+           "makespan (h)", "JPT vs static", "JCT vs static",
+           "makespan vs static"});
   for (auto policy : policies) {
     const auto& a = acc[policy];
     const auto base_policy = policy == sched::PolicyKind::kElasticFifo
@@ -48,12 +56,17 @@ int main() {
       std::snprintf(buf, sizeof(buf), "%+.0f%%", 100.0 * (v - b) / b);
       return std::string(buf);
     };
-    char jpt[32], jct[32], mk[32];
+    char jpt[32], jct[32], mk[32], jptq[48], jctq[48];
     std::snprintf(jpt, sizeof(jpt), "%.0f", a.jpt.mean());
     std::snprintf(jct, sizeof(jct), "%.0f", a.jct.mean());
     std::snprintf(mk, sizeof(mk), "%.1f", a.makespan.mean() / 3600.0);
+    std::snprintf(jptq, sizeof(jptq), "%.0f / %.0f", a.jpt_p50.mean(),
+                  a.jpt_p99.mean());
+    std::snprintf(jctq, sizeof(jctq), "%.0f / %.0f", a.jct_p50.mean(),
+                  a.jct_p99.mean());
     const bool elastic = sched::is_elastic(policy);
-    t.add(sched::to_string(policy), std::string(jpt), std::string(jct), std::string(mk),
+    t.add(sched::to_string(policy), std::string(jpt), std::string(jptq),
+          std::string(jct), std::string(jctq), std::string(mk),
           elastic ? pct(a.jpt.mean(), base.jpt.mean()) : std::string("-"),
           elastic ? pct(a.jct.mean(), base.jct.mean()) : std::string("-"),
           elastic ? pct(a.makespan.mean(), base.makespan.mean()) : std::string("-"));

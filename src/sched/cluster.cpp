@@ -1,12 +1,41 @@
 #include "sched/cluster.h"
 
 #include <algorithm>
+#include <cmath>
+#include <cstdint>
 #include <limits>
+#include <map>
 
 #include "common/error.h"
 #include "elan/hybrid_scaling.h"
+#include "sim/indexed_heap.h"
 
 namespace elan::sched {
+
+namespace {
+
+// Memo-cache keys: the looked-up configuration packed into one 64-bit
+// integer. The packing must be injective — the ELAN_CHECKs pin each field to
+// its bit budget (any realistic trace is orders of magnitude below them).
+std::uint64_t pack_tput_key(int kind, int workers, int tbs) {
+  ELAN_CHECK(kind >= 0 && kind < (1 << 8), "tput key: model kind out of range");
+  ELAN_CHECK(workers >= 0 && workers < (1 << 16), "tput key: workers out of range");
+  ELAN_CHECK(tbs >= 0 && tbs < (1 << 24), "tput key: batch out of range");
+  return (static_cast<std::uint64_t>(kind) << 40) |
+         (static_cast<std::uint64_t>(workers) << 24) | static_cast<std::uint64_t>(tbs);
+}
+
+std::uint64_t pack_batch_key(int kind, int req, int base, int workers) {
+  ELAN_CHECK(kind >= 0 && kind < (1 << 8), "batch key: model kind out of range");
+  ELAN_CHECK(req >= 0 && req < (1 << 12), "batch key: req_res out of range");
+  ELAN_CHECK(base >= 0 && base < (1 << 20), "batch key: base batch out of range");
+  ELAN_CHECK(workers >= 0 && workers < (1 << 16), "batch key: workers out of range");
+  return (static_cast<std::uint64_t>(kind) << 48) |
+         (static_cast<std::uint64_t>(req) << 36) |
+         (static_cast<std::uint64_t>(base) << 16) | static_cast<std::uint64_t>(workers);
+}
+
+}  // namespace
 
 const char* to_string(PolicyKind policy) {
   switch (policy) {
@@ -37,27 +66,27 @@ ClusterSim::ClusterSim(const train::ThroughputModel& throughput,
 }
 
 int ClusterSim::hybrid_batch(const SchedJob& job, int workers) const {
-  const auto key = std::make_tuple(static_cast<int>(job.spec.model.kind), job.spec.req_res,
-                                   job.spec.base_total_batch, workers);
-  auto it = batch_cache_.find(key);
-  if (it != batch_cache_.end()) return it->second;
+  const std::uint64_t key =
+      pack_batch_key(static_cast<int>(job.spec.model.kind), job.spec.req_res,
+                     job.spec.base_total_batch, workers);
+  if (const int* hit = batch_cache_.find(key)) return *hit;
   const HybridScaling hybrid(*throughput_, job.spec.model);
   // Decide relative to the job's tuned configuration so the batch size is a
   // pure function of the worker count (keeps reallocation estimates stable).
   const int tbs =
       hybrid.decide(job.spec.req_res, job.spec.base_total_batch, workers).total_batch;
-  batch_cache_.emplace(key, tbs);
+  batch_cache_.insert(key, tbs);
   return tbs;
 }
 
 double ClusterSim::job_throughput(const SchedJob& job, int workers) const {
   const int tbs = hybrid_batch(job, workers);
-  const auto key = std::make_tuple(static_cast<int>(job.spec.model.kind), workers, tbs);
-  auto it = tput_cache_.find(key);
-  if (it != tput_cache_.end()) return it->second;
+  const std::uint64_t key =
+      pack_tput_key(static_cast<int>(job.spec.model.kind), workers, tbs);
+  if (const double* hit = tput_cache_.find(key)) return *hit;
   double tput = throughput_->throughput(job.spec.model, workers, tbs);
   tput *= 1.0 - costs_->runtime_overhead(system_, job.spec.model, workers, tbs);
-  tput_cache_.emplace(key, tput);
+  tput_cache_.insert(key, tput);
   return tput;
 }
 
@@ -131,6 +160,20 @@ double ClusterSim::measured_throughput(const SchedJob& job) const {
   return tput;
 }
 
+double ClusterSim::measured_throughput_cached(int index) {
+  const SchedJob& job = jobs_[static_cast<std::size_t>(index)];
+  // The measured throughput is a pure function of the adjustment-timeline
+  // phase now_ falls in: the allocation, batch, and placement are all
+  // constant between allocation changes (which invalidate the cache).
+  const int phase = now_ < job.pause_start ? 0 : (now_ < job.paused_until ? 1 : 2);
+  JobTput& cached = job_tput_[static_cast<std::size_t>(index)];
+  if (cached.phase != phase) {
+    cached.tput = measured_throughput(job);
+    cached.phase = phase;
+  }
+  return cached.tput;
+}
+
 void ClusterSim::start_job(int index, int workers) {
   SchedJob& job = jobs_[static_cast<std::size_t>(index)];
   ELAN_CHECK(job.status == JobStatus::kPending, "start_job: not pending");
@@ -141,6 +184,7 @@ void ClusterSim::start_job(int index, int workers) {
   job.start_time = now_;
   free_gpus_ -= workers;
   if (params_.placement_aware) job.gpus = take_gpus(workers, {});
+  job_tput_[static_cast<std::size_t>(index)].phase = -1;
   running_.push_back(index);
   metrics_.pending_time.add(job.pending_time());
 }
@@ -191,19 +235,30 @@ void ClusterSim::apply_allocation(SchedJob& job, int new_workers) {
   }
   job.workers = new_workers;
   job.total_batch = hybrid_batch(job, new_workers);
+  job_tput_[static_cast<std::size_t>(&job - jobs_.data())].phase = -1;
   ++job.adjustments;
   ++metrics_.total_adjustments;
 }
 
-void ClusterSim::progress_running() {
+bool ClusterSim::progress_running() {
   std::vector<int> finished;
-  for (int index : running_) {
-    SchedJob& job = jobs_[static_cast<std::size_t>(index)];
-    if (job.paused(now_)) continue;
-    job.remaining_samples -= measured_throughput(job) * params_.tick;
-    if (job.remaining_samples <= 0) finished.push_back(index);
+  if (params_.event_driven) {
+    for (int index : running_) {
+      SchedJob& job = jobs_[static_cast<std::size_t>(index)];
+      if (job.paused(now_)) continue;
+      job.remaining_samples -= measured_throughput_cached(index) * params_.tick;
+      if (job.remaining_samples <= 0) finished.push_back(index);
+    }
+  } else {
+    for (int index : running_) {
+      SchedJob& job = jobs_[static_cast<std::size_t>(index)];
+      if (job.paused(now_)) continue;
+      job.remaining_samples -= measured_throughput(job) * params_.tick;
+      if (job.remaining_samples <= 0) finished.push_back(index);
+    }
   }
   for (int index : finished) finish_job(index);
+  return !finished.empty();
 }
 
 void ClusterSim::schedule_static() {
@@ -282,6 +337,34 @@ void ClusterSim::schedule_elastic() {
   }
 }
 
+bool ClusterSim::scheduling_is_noop() const {
+  // True only when the scheduling pass at now_ is provably a no-op, so the
+  // event-driven loop may skip it without perturbing a single decision.
+  if (is_elastic(policy_)) {
+    if (rebalance_requested_ || now_ >= next_rebalance_) return false;
+    if (queue_.empty()) return true;
+    if (free_gpus_ <= 0) return true;  // min_res >= 1: nothing can be admitted
+    if (policy_ == PolicyKind::kElasticFifo) {
+      // Strict ordering: the scan stops at the head either way.
+      return jobs_[static_cast<std::size_t>(queue_.front())].spec.min_res > free_gpus_;
+    }
+    // E-BF / E-SRTF scan the whole queue. (E-SRTF's admission re-sort is
+    // idempotent while nothing is admitted: a pending job's estimated
+    // remaining time never changes.)
+    for (int index : queue_) {
+      if (jobs_[static_cast<std::size_t>(index)].spec.min_res <= free_gpus_) return false;
+    }
+    return true;
+  }
+  if (queue_.empty()) return true;
+  if (policy_ == PolicyKind::kFifo) {
+    return jobs_[static_cast<std::size_t>(queue_.front())].spec.req_res > free_gpus_;
+  }
+  // Backfill: the shadow-time condition is time-dependent; conservatively
+  // run the full pass whenever GPUs are free and jobs wait.
+  return free_gpus_ == 0;
+}
+
 void ClusterSim::rebalance() {
   if (running_.empty()) return;
   // Allocation rule (paper §VI-C): give each job min_res, then repeatedly
@@ -289,39 +372,62 @@ void ClusterSim::rebalance() {
   // JCT reduction per added worker, as in Optimus) until GPUs run out, every
   // job hits max_res, or no gain is positive.
   int budget = params_.total_gpus;
-  std::map<int, int> target;
-  for (int index : running_) {
-    const SchedJob& job = jobs_[static_cast<std::size_t>(index)];
-    target[index] = job.spec.min_res;
+  const std::size_t n = running_.size();
+  std::vector<int> target(n);
+  for (std::size_t pos = 0; pos < n; ++pos) {
+    const SchedJob& job = jobs_[static_cast<std::size_t>(running_[pos])];
+    target[pos] = job.spec.min_res;
     budget -= job.spec.min_res;
   }
   ELAN_CHECK(budget >= 0, "rebalance: min allocations exceed cluster");
 
-  while (budget > 0) {
-    int best_index = -1;
-    double best_gain = 0.0;
-    for (int index : running_) {
-      const SchedJob& job = jobs_[static_cast<std::size_t>(index)];
-      const int cur = target[index];
-      if (cur >= job.spec.max_res) continue;
-      const double gain =
-          estimated_remaining(job, cur) - estimated_remaining(job, cur + 1);
-      if (gain > best_gain) {
-        best_gain = gain;
-        best_index = index;
-      }
+  // Incremental waterfilling: a max-heap of per-job marginal gains replaces
+  // the historical O(budget x jobs) full rescan — only the job that just
+  // received a worker changes gain, so only it is re-keyed. Tie-breaking
+  // reproduces the rescan's strict `gain > best` first-wins scan: equal
+  // gains resolve to the earliest job in running_ via the position
+  // component. Non-finite NaN gains (0/0 estimates) are never pushed — the
+  // rescan's `gain > 0` test rejected them too.
+  struct GainKey {
+    double gain;
+    std::size_t pos;
+  };
+  struct GainBefore {
+    bool operator()(const GainKey& a, const GainKey& b) const {
+      if (a.gain != b.gain) return a.gain > b.gain;
+      return a.pos < b.pos;
     }
-    if (best_index < 0) break;
-    ++target[best_index];
+  };
+  const auto gain_at = [&](std::size_t pos) {
+    const SchedJob& job = jobs_[static_cast<std::size_t>(running_[pos])];
+    const int cur = target[pos];
+    return estimated_remaining(job, cur) - estimated_remaining(job, cur + 1);
+  };
+  sim::IndexedHeap<GainKey, std::size_t, GainBefore> gains;
+  gains.reserve(n);
+  for (std::size_t pos = 0; pos < n; ++pos) {
+    const SchedJob& job = jobs_[static_cast<std::size_t>(running_[pos])];
+    if (target[pos] >= job.spec.max_res) continue;
+    const double gain = gain_at(pos);
+    if (!std::isnan(gain)) gains.push(GainKey{gain, pos}, pos);
+  }
+  while (budget > 0 && !gains.empty()) {
+    if (!(gains.top_priority().gain > 0.0)) break;
+    const std::size_t pos = gains.pop();
+    ++target[pos];
     --budget;
+    const SchedJob& job = jobs_[static_cast<std::size_t>(running_[pos])];
+    if (target[pos] >= job.spec.max_res) continue;
+    const double gain = gain_at(pos);
+    if (!std::isnan(gain)) gains.push(GainKey{gain, pos}, pos);
   }
 
   // Apply shrinks before grows: in placement-aware mode the grown jobs take
   // concrete GPUs from the pool the shrunk jobs just returned.
   for (const bool shrink_pass : {true, false}) {
-    for (int index : running_) {
-      SchedJob& job = jobs_[static_cast<std::size_t>(index)];
-      const int want = target[index];
+    for (std::size_t pos = 0; pos < n; ++pos) {
+      SchedJob& job = jobs_[static_cast<std::size_t>(running_[pos])];
+      const int want = target[pos];
       if ((want < job.workers) != shrink_pass) continue;
       if (std::abs(want - job.workers) < std::max(1, params_.rebalance_hysteresis)) continue;
       apply_allocation(job, want);
@@ -369,15 +475,27 @@ ScheduleMetrics ClusterSim::run(const std::vector<SchedJobSpec>& trace) {
   }
   metrics_ = ScheduleMetrics{};
   next_rebalance_ = 0;
+  rebalance_requested_ = false;
+  job_tput_.assign(jobs_.size(), JobTput{});
 
+  // The clock always advances by exact `tick` increments (never t0 + i*tick
+  // in one multiply — repeated addition keeps the sums bit-identical between
+  // the event-driven and fixed-tick modes). Event-driven mode only elides
+  // the scheduling pass on ticks where it is provably a no-op.
   std::size_t next_arrival = 0;
   while (next_arrival < trace.size() || !all_done()) {
-    admit_arrivals(trace, next_arrival);
-    progress_running();
-    if (is_elastic(policy_)) {
-      schedule_elastic();
-    } else {
-      schedule_static();
+    const bool arrivals_due =
+        next_arrival < trace.size() && trace[next_arrival].submit_time <= now_;
+    if (arrivals_due) admit_arrivals(trace, next_arrival);
+    const bool finished_any = progress_running();
+    const bool lean = params_.event_driven && !arrivals_due && !finished_any &&
+                      scheduling_is_noop();
+    if (!lean) {
+      if (is_elastic(policy_)) {
+        schedule_elastic();
+      } else {
+        schedule_static();
+      }
     }
     const int busy = params_.total_gpus - free_gpus_;
     metrics_.utilization.push_back(

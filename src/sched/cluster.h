@@ -15,14 +15,22 @@
 // The elastic system executing the adjustments (Ideal / Elan / S&R) sets the
 // pause each reallocation costs and the runtime overhead — exactly the
 // paper's Fig 22 ablation.
+//
+// Replay is event-driven by default: the clock still advances in exact
+// `tick` increments (floating-point sums stay bit-identical to the fixed-tick
+// loop), but ticks where nothing can happen — no arrival due, no job
+// finishing, no rebalance horizon crossed, no admission possible — run a lean
+// path that only integrates progress from per-job cached throughputs. The
+// scheduling pass is skipped only when it is provably a no-op, so
+// ScheduleMetrics are bit-identical between the two modes (bench_sched
+// asserts this across all five policies).
 #pragma once
 
-#include <map>
 #include <set>
-#include <tuple>
 #include <vector>
 
 #include "baselines/adjustment_cost.h"
+#include "common/flat_hash.h"
 #include "sched/job.h"
 #include "sched/metrics.h"
 #include "train/throughput.h"
@@ -51,6 +59,10 @@ struct ClusterParams {
   /// communication bottleneck — fragmentation physically slows jobs. The
   /// default (off) is the paper's count-based simulator.
   bool placement_aware = false;
+  /// When set (the default), uneventful ticks take the lean fast-forward
+  /// path (see the file comment). Metrics are bit-identical either way;
+  /// turn off to benchmark against the honest fixed-tick baseline.
+  bool event_driven = true;
 };
 
 class ClusterSim {
@@ -80,16 +92,30 @@ class ClusterSim {
   Seconds next_rebalance_ = 0;
   bool rebalance_requested_ = false;
 
-  // Throughput-model lookups dominate the simulation loop; configurations
-  // repeat constantly, so memoise them. Keys: (model kind, workers, batch).
-  mutable std::map<std::tuple<int, int, int>, double> tput_cache_;
-  mutable std::map<std::tuple<int, int, int, int>, int> batch_cache_;
+  // Per-job measured-throughput memo for the event-driven lean path. A
+  // job's measured throughput is constant within one phase of its
+  // adjustment timeline (pre-window / paused / steady), so the cached value
+  // is bit-identical to a fresh computation until the phase flips or the
+  // allocation changes (start_job / apply_allocation invalidate).
+  struct JobTput {
+    double tput = 0.0;
+    int phase = -1;  // 0 pre-window, 1 paused, 2 steady; -1 invalid
+  };
+  mutable std::vector<JobTput> job_tput_;
 
-  void tick();
+  // Throughput-model lookups dominate the simulation loop; configurations
+  // repeat constantly, so memoise them. Keys are the configuration packed
+  // into 64-bit integers (see pack_tput_key / pack_batch_key in the .cpp) —
+  // the flat open-addressed maps make a hit one or two cache lines instead
+  // of a red-black-tree walk.
+  mutable FlatMap64<double> tput_cache_;
+  mutable FlatMap64<int> batch_cache_;
+
   void admit_arrivals(const std::vector<SchedJobSpec>& trace, std::size_t& next_arrival);
-  void progress_running();
+  bool progress_running();
   void schedule_static();
   void schedule_elastic();
+  bool scheduling_is_noop() const;
   void rebalance();
   void start_job(int index, int workers);
   void finish_job(int index);
@@ -99,6 +125,7 @@ class ClusterSim {
   std::vector<topo::GpuId> take_gpus(int count, const std::vector<topo::GpuId>& near);
   void release_gpus(SchedJob& job, int count);
   double measured_throughput(const SchedJob& job) const;
+  double measured_throughput_cached(int index);
 
   double job_throughput(const SchedJob& job, int workers) const;
   int hybrid_batch(const SchedJob& job, int workers) const;

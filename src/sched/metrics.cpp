@@ -1,5 +1,10 @@
 #include "sched/metrics.h"
 
+#include <cmath>
+#include <vector>
+
+#include "obs/metrics.h"
+
 namespace elan::sched {
 
 double ScheduleMetrics::average_utilization() const {
@@ -7,6 +12,34 @@ double ScheduleMetrics::average_utilization() const {
   double sum = 0.0;
   for (const auto& s : utilization) sum += s.utilization;
   return sum / static_cast<double>(utilization.size());
+}
+
+namespace {
+
+// Bucket-interpolated quantile over sqrt(2)-log-spaced bounds from 1 second
+// to ~16 days — wide enough that a 48-hour trace's worst-queued job never
+// clamps into the +Inf bucket.
+double histogram_quantile(const Stats& stats, double q) {
+  if (stats.count() == 0) return std::nan("");
+  std::vector<double> bounds;
+  double bound = 1.0;
+  for (int i = 0; i < 42; ++i) {
+    bounds.push_back(bound);
+    bound *= std::sqrt(2.0);
+  }
+  obs::Histogram hist(std::move(bounds));
+  for (double v : stats.values()) hist.observe(v);
+  return hist.snapshot().quantile(q);
+}
+
+}  // namespace
+
+double ScheduleMetrics::pending_time_quantile(double q) const {
+  return histogram_quantile(pending_time, q);
+}
+
+double ScheduleMetrics::completion_time_quantile(double q) const {
+  return histogram_quantile(completion_time, q);
 }
 
 }  // namespace elan::sched

@@ -22,6 +22,16 @@ struct ScheduleMetrics {
   int jobs_finished = 0;
 
   double average_utilization() const;
+
+  /// Tail quantiles of per-job pending time / JCT, q in [0, 1]. Mean-only
+  /// columns hide the tail effects the multi-tenant schedulers report, so
+  /// the fig20 / ablation tables surface p50 and p99. Computed through
+  /// obs::Histogram::Snapshot::quantile (Prometheus bucket-interpolation
+  /// semantics) over sqrt(2)-spaced bounds — the same estimator the live
+  /// observability stack reports, so offline tables and scraped dashboards
+  /// agree. NaN when no job finished or q is outside [0, 1].
+  double pending_time_quantile(double q) const;
+  double completion_time_quantile(double q) const;
 };
 
 }  // namespace elan::sched

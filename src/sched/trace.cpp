@@ -24,10 +24,21 @@ int sample_req_res(Rng& rng) {
 
 }  // namespace
 
+TraceParams production_trace_params(int target_jobs, std::uint64_t seed) {
+  require(target_jobs > 0, "trace: target_jobs must be positive");
+  TraceParams params;
+  params.seed = seed;
+  const double mean_jobs = (params.peak_jobs_per_hour + params.trough_jobs_per_hour) /
+                           2.0 * (params.span / 3600.0);
+  params.load = static_cast<double>(target_jobs) / mean_jobs;
+  return params;
+}
+
 TraceGenerator::TraceGenerator(const train::ThroughputModel& throughput, TraceParams params)
     : throughput_(&throughput), params_(params) {
   require(params_.span > 0, "trace: span must be positive");
   require(params_.trough_jobs_per_hour > 0, "trace: trough rate must be positive");
+  require(params_.load > 0, "trace: load must be positive");
 }
 
 SchedJobSpec TraceGenerator::make_job(int id, Seconds submit, Rng& rng) const {
@@ -68,10 +79,12 @@ SchedJobSpec TraceGenerator::make_job(int id, Seconds submit, Rng& rng) const {
 std::vector<SchedJobSpec> TraceGenerator::generate() const {
   Rng rng(params_.seed);
   std::vector<SchedJobSpec> jobs;
-  const double mean_rate =
-      (params_.peak_jobs_per_hour + params_.trough_jobs_per_hour) / 2.0 / 3600.0;
-  const double amplitude =
-      (params_.peak_jobs_per_hour - params_.trough_jobs_per_hour) / 2.0 / 3600.0;
+  // `load` scales both rates; the default 1.0 multiplies exactly, keeping
+  // historical seeds bit-stable.
+  const double mean_rate = (params_.peak_jobs_per_hour + params_.trough_jobs_per_hour) /
+                           2.0 / 3600.0 * params_.load;
+  const double amplitude = (params_.peak_jobs_per_hour - params_.trough_jobs_per_hour) /
+                           2.0 / 3600.0 * params_.load;
   const double peak_rate = mean_rate + amplitude;
 
   // Thinned Poisson process: candidates at the peak rate, accepted with

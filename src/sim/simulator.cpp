@@ -4,73 +4,70 @@
 #include <atomic>
 #include <cmath>
 #include <cstddef>
+#include <utility>
 
 namespace elan::sim {
 
 namespace {
 // Shared by every Simulator so the chaos harness's internally-constructed
 // instances (ChaosRunner::run_plan builds its own) pick the hint up too.
-std::atomic<std::size_t> g_test_bucket_hint{0};
+std::atomic<unsigned> g_test_layout_hint{0};
+
+unsigned effective_arity() {
+  const unsigned hint = g_test_layout_hint.load(std::memory_order_relaxed);
+  return hint != 0 ? hint : 4;
+}
 }  // namespace
 
-Simulator::Simulator() {
-  const std::size_t buckets = g_test_bucket_hint.load(std::memory_order_relaxed);
-  if (buckets != 0) {
-    MutexLock lock(mu_);
-    callbacks_.rehash(buckets);
-  }
+Simulator::Simulator() : heap_(effective_arity()) {}
+
+void Simulator::set_test_layout_hint(unsigned arity) {
+  g_test_layout_hint.store(arity, std::memory_order_relaxed);
 }
 
-void Simulator::set_test_bucket_hint(std::size_t buckets) {
-  g_test_bucket_hint.store(buckets, std::memory_order_relaxed);
-}
-
-std::size_t Simulator::test_bucket_hint() {
-  return g_test_bucket_hint.load(std::memory_order_relaxed);
+unsigned Simulator::test_layout_hint() {
+  return g_test_layout_hint.load(std::memory_order_relaxed);
 }
 
 EventId Simulator::schedule(Seconds delay, Callback fn) {
   require(delay >= 0.0 && std::isfinite(delay), "Simulator::schedule: bad delay");
   require(static_cast<bool>(fn), "Simulator::schedule: empty callback");
   MutexLock lock(mu_);
-  const EventId id = next_id_++;
-  callbacks_.emplace(id, std::move(fn));
-  queue_.push(Event{now_ + delay, next_seq_++, id});
-  return id;
+  return heap_.push(EventKey{now_ + delay, next_seq_++}, std::move(fn));
 }
 
 EventId Simulator::schedule_at(Seconds when, Callback fn) {
   require(static_cast<bool>(fn), "Simulator::schedule_at: empty callback");
   MutexLock lock(mu_);
   require(when >= now_, "Simulator::schedule_at: time in the past");
-  const EventId id = next_id_++;
-  callbacks_.emplace(id, std::move(fn));
-  queue_.push(Event{when, next_seq_++, id});
-  return id;
+  return heap_.push(EventKey{when, next_seq_++}, std::move(fn));
 }
 
 bool Simulator::cancel(EventId id) {
   MutexLock lock(mu_);
-  return callbacks_.erase(id) > 0;
+  return heap_.erase(id);
+}
+
+bool Simulator::reschedule(EventId id, Seconds delay) {
+  require(delay >= 0.0 && std::isfinite(delay),
+          "Simulator::reschedule: bad delay");
+  MutexLock lock(mu_);
+  const std::uint64_t seq = next_seq_++;
+  if (heap_.update(id, EventKey{now_ + delay, seq})) return true;
+  next_seq_ = seq;  // stale id: no event moved, so no sequence consumed
+  return false;
 }
 
 bool Simulator::step() {
   Callback fn;
   {
     MutexLock lock(mu_);
-    for (;;) {
-      if (queue_.empty()) return false;
-      const Event ev = queue_.top();
-      queue_.pop();
-      auto it = callbacks_.find(ev.id);
-      if (it == callbacks_.end()) continue;  // cancelled
-      fn = std::move(it->second);
-      callbacks_.erase(it);
-      ELAN_CHECK(ev.time >= now_, "Simulator: time went backwards");
-      now_ = ev.time;
-      ++executed_;
-      break;
-    }
+    if (heap_.empty()) return false;
+    EventKey key{};
+    fn = heap_.pop(&key);
+    ELAN_CHECK(key.time >= now_, "Simulator: time went backwards");
+    now_ = key.time;
+    ++executed_;
   }
   // The callback runs with no simulator lock held: it may freely call
   // schedule / cancel / now (and components locking their own mutexes keep
@@ -90,7 +87,7 @@ bool Simulator::run_bounded(std::uint64_t max_events) {
     if (!step()) return true;
   }
   MutexLock lock(mu_);
-  return callbacks_.empty();  // cancelled queue entries do not count
+  return heap_.empty();
 }
 
 Seconds Simulator::run_until(Seconds deadline) {
@@ -99,19 +96,27 @@ Seconds Simulator::run_until(Seconds deadline) {
     require(deadline >= now_, "Simulator::run_until: deadline in the past");
   }
   for (;;) {
+    // Deadline check and pop under one lock acquisition; the callback still
+    // runs with no lock held (see step()).
+    Callback fn;
     {
       MutexLock lock(mu_);
-      // Skip over cancelled events without advancing time.
-      while (!queue_.empty() && callbacks_.find(queue_.top().id) == callbacks_.end()) {
-        queue_.pop();
+      if (heap_.empty() || heap_.top_priority().time > deadline) {
+        // Advance to the deadline in the same critical section as the
+        // emptiness check: a concurrent schedule() between a bare break and
+        // a separate advance could land an event before the deadline, and
+        // popping it later would move time backwards.
+        now_ = std::max(now_, deadline);
+        return now_;
       }
-      if (queue_.empty() || queue_.top().time > deadline) break;
+      EventKey key{};
+      fn = heap_.pop(&key);
+      ELAN_CHECK(key.time >= now_, "Simulator: time went backwards");
+      now_ = key.time;
+      ++executed_;
     }
-    step();
+    fn();
   }
-  MutexLock lock(mu_);
-  now_ = std::max(now_, deadline);
-  return now_;
 }
 
 }  // namespace elan::sim

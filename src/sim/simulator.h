@@ -4,9 +4,13 @@
 // latencies, process start/init delays) is executed against this virtual
 // clock; nothing in the repository sleeps on wall-clock time.
 //
-// The engine is deliberately minimal: a priority queue of (time, sequence,
-// callback) events. Components schedule closures; determinism comes from the
-// strict (time, insertion-order) ordering.
+// The engine is deliberately minimal: an index-tracked d-ary heap of
+// (time, sequence, callback) events (see indexed_heap.h). Components schedule
+// closures; determinism comes from the strict (time, insertion-order)
+// ordering. Callbacks live inline in the heap and `cancel` removes its event
+// in place — the queue never accumulates tombstones, so `pending()` is always
+// exactly the heap size, even under cancel-heavy workloads like
+// ReliableEndpoint retransmit timers.
 //
 // Thread safety: schedule / schedule_at / cancel / now / pending may be
 // called from any thread (the transport and master layers run off the
@@ -18,13 +22,11 @@
 
 #include <cstdint>
 #include <functional>
-#include <queue>
-#include <unordered_map>
-#include <vector>
 
 #include "common/error.h"
 #include "common/sync.h"
 #include "common/units.h"
+#include "sim/indexed_heap.h"
 
 namespace elan::sim {
 
@@ -37,15 +39,15 @@ class Simulator {
 
   Simulator();
 
-  /// Test hook: subsequently-constructed Simulators pre-size their internal
-  /// callback map to `buckets` hash buckets (0, the default, keeps the
-  /// library default). Determinism guardrail: nothing observable may depend
-  /// on unordered_map iteration order, so chaos fingerprints must be
-  /// bit-identical whether the map has 1 bucket (every key collides) or
-  /// 1 << 13 buckets (every key isolated). tests/fault_test.cpp re-runs the
-  /// sweep under both extremes.
-  static void set_test_bucket_hint(std::size_t buckets);
-  static std::size_t test_bucket_hint();
+  /// Test hook: subsequently-constructed Simulators use `arity` as their
+  /// event-heap branching factor (0, the default, keeps the production
+  /// arity of 4). Determinism guardrail: nothing observable may depend on
+  /// the heap's internal array layout, so chaos fingerprints must be
+  /// bit-identical whether the heap is binary (deepest, most sift steps) or
+  /// 8-ary (shallowest). tests/fault_test.cpp re-runs the sweep under both
+  /// extremes.
+  static void set_test_layout_hint(unsigned arity);
+  static unsigned test_layout_hint();
 
   /// Current virtual time in seconds.
   Seconds now() const {
@@ -60,9 +62,20 @@ class Simulator {
   /// Schedules `fn` at an absolute virtual time (must be >= now()).
   EventId schedule_at(Seconds when, Callback fn);
 
-  /// Cancels a pending event. Cancelling an already-fired or unknown event is
-  /// a no-op (returns false).
+  /// Cancels a pending event, removing it from the queue in place (O(log n),
+  /// no tombstone). Cancelling an already-fired or unknown event is a no-op
+  /// (returns false).
   bool cancel(EventId id);
+
+  /// Re-arms a pending event in place to fire `delay` seconds from now,
+  /// keeping its id and callback. Equivalent to cancel(id) followed by
+  /// schedule(delay, <same callback>) — it consumes one sequence number, so
+  /// event ordering is bit-identical to the two-call spelling — but O(log n)
+  /// with no tombstone and no callback reconstruction. The retransmit-timer
+  /// refresh primitive (ReliableEndpoint backoff bumps). Returns false when
+  /// the event already fired or was cancelled; the caller then schedules
+  /// afresh, exactly as with a failed cancel.
+  bool reschedule(EventId id, Seconds delay);
 
   /// Runs until the event queue drains. Returns the final virtual time.
   /// Single-driver (see the file comment).
@@ -85,7 +98,15 @@ class Simulator {
   /// Number of pending (non-cancelled) events.
   std::size_t pending() const {
     MutexLock lock(mu_);
-    return callbacks_.size();
+    return heap_.size();
+  }
+
+  /// Number of entries physically in the event heap. With in-place cancel
+  /// this always equals pending(); tests pin the two together to catch any
+  /// reintroduced tombstone leak.
+  std::size_t queue_depth() const {
+    MutexLock lock(mu_);
+    return heap_.size();
   }
 
   /// Total events executed so far (for tests / diagnostics).
@@ -95,29 +116,29 @@ class Simulator {
   }
 
  private:
-  struct Event {
+  // Ordered so that the earliest time (and, for ties, lowest sequence
+  // number) fires first — a total order, so pop order cannot depend on the
+  // heap's internal layout.
+  struct EventKey {
     Seconds time;
     std::uint64_t seq;
-    EventId id;
-    // Ordered so that the earliest time (and, for ties, lowest sequence
-    // number) has the highest priority.
-    bool operator>(const Event& other) const {
-      if (time != other.time) return time > other.time;
-      return seq > other.seq;
+  };
+  struct EventBefore {
+    bool operator()(const EventKey& a, const EventKey& b) const {
+      if (a.time != b.time) return a.time < b.time;
+      return a.seq < b.seq;
     }
   };
 
   mutable Mutex mu_{"simulator"};
   Seconds now_ ELAN_GUARDED_BY(mu_) = 0.0;
   std::uint64_t next_seq_ ELAN_GUARDED_BY(mu_) = 0;
-  EventId next_id_ ELAN_GUARDED_BY(mu_) = 1;
   std::uint64_t executed_ ELAN_GUARDED_BY(mu_) = 0;
 
-  std::priority_queue<Event, std::vector<Event>, std::greater<Event>> queue_
-      ELAN_GUARDED_BY(mu_);
-  // Callbacks stored out-of-line so cancellation is O(1); an event popped
-  // from the queue whose id is absent here was cancelled.
-  std::unordered_map<EventId, Callback> callbacks_ ELAN_GUARDED_BY(mu_);
+  // Heap handles double as EventIds: never 0, unique among live events, and
+  // stale after the event fires or is cancelled (generation-tagged), so a
+  // late cancel can never hit an unrelated newer event.
+  IndexedHeap<EventKey, Callback, EventBefore> heap_ ELAN_GUARDED_BY(mu_);
 };
 
 }  // namespace elan::sim

@@ -179,6 +179,42 @@ def main():
               "raw-string contents are NOT linted but code after them IS "
               f"(findings on lines {lines}, expected [7])")
 
+    # --- elan_lint: adhoc-event-queue scoping + waiver ---------------------
+    with tempfile.TemporaryDirectory() as tmp:
+        sim_dir = os.path.join(tmp, "src", "sim")
+        sched_dir = os.path.join(tmp, "src", "sched")
+        os.makedirs(sim_dir)
+        os.makedirs(sched_dir)
+        with open(os.path.join(sim_dir, "inside_core.cpp"), "w") as f:
+            f.write(
+                '// The ordering core itself may use raw heap primitives.\n'
+                '#include <queue>\n'
+                'std::priority_queue<int> allowed_here;\n')
+        with open(os.path.join(sched_dir, "outside_core.cpp"), "w") as f:
+            f.write(
+                '// Ad-hoc event queues outside src/sim/ must be flagged.\n'
+                '#include <algorithm>\n'
+                '#include <queue>\n'
+                'std::priority_queue<int> bad_queue;\n'
+                'void f(int* b, int* e) { std::make_heap(b, e); }\n'
+                '// elan-lint: allow(adhoc-event-queue) — fixture waiver\n'
+                'std::priority_queue<int> waived_queue;\n')
+        proc = run([sys.executable, LINT, f"--root={tmp}", "--format=json"])
+        check(proc.returncode == 1,
+              f"adhoc-event-queue fixture exits 1 (got {proc.returncode}, "
+              f"stderr {proc.stderr.strip()!r})")
+        doc = json.loads(proc.stdout)
+        hits = [f for f in doc["findings"]
+                if f["rule"] == "adhoc-event-queue"]
+        check(sorted(f["line"] for f in hits) == [4, 5],
+              "adhoc-event-queue fires on priority_queue and make_heap "
+              f"outside src/sim/ (got {[(f['file'], f['line']) for f in hits]})")
+        check(not any(f["file"].endswith("inside_core.cpp")
+                      for f in doc["findings"]),
+              "adhoc-event-queue stays silent inside src/sim/")
+        check(doc["waived"] == 1,
+              f"adhoc-event-queue waiver suppresses (waived={doc['waived']})")
+
     if failures:
         print(f"\n{len(failures)} fixture assertion(s) failed", file=sys.stderr)
         return 1
